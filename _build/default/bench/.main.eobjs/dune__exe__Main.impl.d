@@ -1,0 +1,1 @@
+bench/main.ml: Arg Figures Format List Micro Ppt_harness Printf String Unix

@@ -1,0 +1,73 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md for the per-experiment index) and
+   finishes with Bechamel micro-benchmarks of the simulator hot paths.
+
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- --list            # list experiment ids
+     dune exec bench/main.exe -- --only fig12,tab2 # a subset
+     dune exec bench/main.exe -- --flows-scale 0.5 # quicker run
+     dune exec bench/main.exe -- --full            # 144-host fabrics *)
+
+open Ppt_harness
+
+let () =
+  let only = ref [] in
+  let flows_scale = ref 1.0 in
+  let seed = ref 1 in
+  let full = ref false in
+  let skip_micro = ref false in
+  let list_only = ref false in
+  let spec =
+    [ ("--only",
+       Arg.String
+         (fun s -> only := String.split_on_char ',' s),
+       "IDS comma-separated experiment ids (fig12,tab2,...)");
+      ("--flows-scale", Arg.Set_float flows_scale,
+       "F multiply every experiment's flow count by F (default 1.0)");
+      ("--seed", Arg.Set_int seed, "N random seed (default 1)");
+      ("--full", Arg.Set full,
+       " use the full-size 144-host fabrics (slow)");
+      ("--skip-micro", Arg.Set skip_micro,
+       " skip the bechamel micro-benchmarks");
+      ("--list", Arg.Set list_only, " list experiment ids and exit") ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "PPT benchmark harness";
+  let ppf = Format.std_formatter in
+  if !list_only then begin
+    List.iter
+      (fun (id, descr, _) -> Format.fprintf ppf "%-8s %s@\n" id descr)
+      Figures.all;
+    Format.pp_print_flush ppf ()
+  end else begin
+    let opts =
+      { Figures.flows_scale = !flows_scale; seed = !seed; full = !full }
+    in
+    let selected =
+      match !only with
+      | [] -> Figures.all
+      | ids ->
+        List.map
+          (fun id ->
+             match Figures.find id with
+             | Some e -> e
+             | None ->
+               raise (Arg.Bad (Printf.sprintf "unknown experiment %s" id)))
+          ids
+    in
+    Format.fprintf ppf
+      "PPT reproduction bench (scale=%.2f, seed=%d, fabric=%s)@\n"
+      !flows_scale !seed
+      (if !full then "full 144-host" else "scaled 32-host");
+    List.iter
+      (fun (id, _descr, f) ->
+         let t0 = Unix.gettimeofday () in
+         f opts ppf;
+         Format.fprintf ppf "[%s done in %.1fs]@\n" id
+           (Unix.gettimeofday () -. t0);
+         Format.pp_print_flush ppf ())
+      selected;
+    if (not !skip_micro) && !only = [] then Micro.run ppf;
+    Format.pp_print_flush ppf ()
+  end

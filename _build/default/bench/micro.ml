@@ -1,0 +1,113 @@
+(* Bechamel micro-benchmarks of the simulator's hot paths: the event
+   heap, the priority queue discipline, CDF sampling, the PRNG, and a
+   small end-to-end DCTCP/PPT simulation per iteration. *)
+
+open Bechamel
+open Toolkit
+open Ppt_engine
+open Ppt_netsim
+
+let heap_push_pop () =
+  let h = Heap.create ~dummy:0 in
+  let rng = Rng.create 7 in
+  Staged.stage (fun () ->
+      for i = 0 to 255 do
+        Heap.push h ~key:(Rng.int rng 1_000_000) ~tie:i i
+      done;
+      while not (Heap.is_empty h) do
+        ignore (Heap.pop h)
+      done)
+
+let prio_queue_cycle () =
+  let q =
+    Prio_queue.create
+      (Prio_queue.default_config ~buffer_bytes:(Units.mb 4))
+  in
+  let pkts =
+    Array.init 256 (fun i ->
+        Packet.make ~seq:i ~payload:1000 ~prio:(i mod 8) ~flow:1 ~src:0
+          ~dst:1 Packet.Data)
+  in
+  Staged.stage (fun () ->
+      Array.iter (fun p -> ignore (Prio_queue.enqueue q p)) pkts;
+      let rec drain () =
+        match Prio_queue.dequeue q with Some _ -> drain () | None -> ()
+      in
+      drain ())
+
+let cdf_sampling () =
+  let rng = Rng.create 11 in
+  let cdf = Ppt_workload.Dists.web_search in
+  Staged.stage (fun () ->
+      for _ = 1 to 64 do
+        ignore (Ppt_workload.Cdf.sample cdf rng)
+      done)
+
+let rng_floats () =
+  let rng = Rng.create 3 in
+  Staged.stage (fun () ->
+      for _ = 1 to 256 do
+        ignore (Rng.float rng)
+      done)
+
+(* One tiny end-to-end simulation per iteration: 8 flows over a star. *)
+let small_sim factory () =
+  Staged.stage (fun () ->
+      let sim = Sim.create () in
+      let qcfg =
+        { (Prio_queue.default_config ~buffer_bytes:(Units.kb 200)) with
+          Prio_queue.mark_thresholds =
+            Prio_queue.mark_bands ~hp:(Some (Units.kb 60))
+              ~lp:(Some (Units.kb 40)) }
+      in
+      let topo =
+        Topology.star ~sim ~n_hosts:4 ~rate:(Units.gbps 10)
+          ~delay:(Units.us 2) ~qcfg ()
+      in
+      let ctx =
+        Ppt_transport.Context.of_topology ~rto_min:(Units.ms 1)
+          ~rng:(Rng.create 5) topo
+      in
+      let t = factory ctx in
+      for i = 0 to 7 do
+        let flow =
+          Ppt_transport.Flow.create ~id:i ~src:(i mod 3) ~dst:3
+            ~size:30_000 ~start:(i * 1_000)
+        in
+        ignore
+          (Sim.schedule_at sim flow.Ppt_transport.Flow.start (fun () ->
+               t.Ppt_transport.Endpoint.t_start flow))
+      done;
+      Sim.run ~until:(Units.sec 1) sim)
+
+let tests =
+  Test.make_grouped ~name:"micro" ~fmt:"%s %s"
+    [ Test.make ~name:"heap: 256 push+pop" (heap_push_pop ());
+      Test.make ~name:"prio-queue: 256 enq+deq" (prio_queue_cycle ());
+      Test.make ~name:"cdf: 64 samples" (cdf_sampling ());
+      Test.make ~name:"rng: 256 floats" (rng_floats ());
+      Test.make ~name:"sim: 8-flow dctcp run"
+        (small_sim (Ppt_transport.Dctcp.make ()) ());
+      Test.make ~name:"sim: 8-flow ppt run"
+        (small_sim (Ppt_core.Ppt.make ()) ()) ]
+
+let run ppf =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.fprintf ppf "@\n== micro-benchmarks (bechamel, ns/iteration) ==@\n";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+        Format.fprintf ppf "  %-32s %12.1f ns@\n" name est
+      | Some _ | None ->
+        Format.fprintf ppf "  %-32s (no estimate)@\n" name)

@@ -1,0 +1,270 @@
+(* ppt_sim: command-line front end for the PPT simulator.
+
+     ppt_sim list
+     ppt_sim run --topo oversub --scheme ppt --workload web-search \
+                 --load 0.5 --flows 500
+     ppt_sim compare --topo testbed --load 0.7
+     ppt_sim figure fig12 [--flows-scale 0.5] [--full]              *)
+
+open Cmdliner
+open Ppt_harness
+
+let scheme_names =
+  [ ("ppt", Schemes.ppt); ("dctcp", Schemes.dctcp); ("rc3", Schemes.rc3);
+    ("pias", Schemes.pias); ("swift", Schemes.swift);
+    ("ppt-swift", Schemes.ppt_swift); ("homa", Schemes.homa);
+    ("aeolus", Schemes.aeolus); ("ndp", Schemes.ndp);
+    ("hpcc", Schemes.hpcc);
+    ("tcp", Schemes.tcp); ("tcp-10", Schemes.tcp10);
+    ("halfback", Schemes.halfback);
+    ("expresspass", Schemes.expresspass);
+    ("ppt-hpcc", Schemes.ppt_hpcc);
+    ("ppt-no-lcp-ecn", Schemes.ppt_no_lcp_ecn);
+    ("ppt-no-ewd", Schemes.ppt_no_ewd);
+    ("ppt-no-sched", Schemes.ppt_no_sched);
+    ("ppt-no-ident", Schemes.ppt_no_ident) ]
+
+let topo_of_name name ~flows ~load ~seed ~scale =
+  match name with
+  | "testbed" -> Config.testbed ~n_flows:flows ~load ~seed ()
+  | "oversub" -> Config.oversub ~scale ~n_flows:flows ~load ~seed ()
+  | "fast" -> Config.fast ~scale ~n_flows:flows ~load ~seed ()
+  | "non-oversub" ->
+    Config.non_oversub ~scale ~n_flows:flows ~load ~seed ()
+  | "dumbbell" -> Config.dumbbell ~n_flows:flows ~load ~seed ()
+  | other -> failwith ("unknown topology: " ^ other)
+
+let pp_result r =
+  let s = r.Runner.summary in
+  Format.printf
+    "@[<v>scheme        %s@,\
+     topology      %s@,\
+     workload      %s @@ load %.2f@,\
+     flows         %d/%d completed@,\
+     overall avg   %.4f ms@,\
+     small avg     %.4f ms@,\
+     small p99     %.4f ms@,\
+     large avg     %.4f ms@,\
+     retransmits   %d@,\
+     drops/marks   %d/%d@,\
+     lcp payload   %d KB (efficiency %.3f)@,\
+     sim events    %d@]@."
+    r.Runner.r_scheme r.Runner.r_config.Config.name
+    r.Runner.r_config.Config.workload_name r.Runner.r_config.Config.load
+    r.Runner.completed r.Runner.requested
+    s.Ppt_stats.Fct.overall_avg s.Ppt_stats.Fct.small_avg
+    s.Ppt_stats.Fct.small_p99 s.Ppt_stats.Fct.large_avg
+    s.Ppt_stats.Fct.total_retrans r.Runner.drops r.Runner.marks
+    (s.Ppt_stats.Fct.lcp_bytes / 1000)
+    r.Runner.lp_efficiency r.Runner.events
+
+(* ---- common options ---- *)
+
+let topo_arg =
+  let doc =
+    "Topology: testbed, oversub, fast, non-oversub or dumbbell."
+  in
+  Arg.(value & opt string "oversub" & info [ "topo" ] ~docv:"NAME" ~doc)
+
+let workload_arg =
+  let doc = "Workload: web-search, data-mining or memcached." in
+  Arg.(value & opt string "web-search"
+       & info [ "workload" ] ~docv:"NAME" ~doc)
+
+let load_arg =
+  let doc = "Target network load in (0, 1]." in
+  Arg.(value & opt float 0.5 & info [ "load" ] ~docv:"L" ~doc)
+
+let flows_arg =
+  let doc = "Number of flows to simulate." in
+  Arg.(value & opt int 500 & info [ "flows" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let full_arg =
+  let doc = "Use the full-size 144-host fabric (slow)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let verbose_arg =
+  let doc = "Enable debug logging (loop lifecycle, RTOs, recovery)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let incast_arg =
+  let doc = "Run an N-to-1 incast pattern instead of all-to-all." in
+  Arg.(value & opt (some int) None & info [ "incast" ] ~docv:"N" ~doc)
+
+let config_of ~topo ~workload ~load ~flows ~seed ~full ~incast =
+  let scale = if full then 9 else 4 in
+  let cfg = topo_of_name topo ~flows ~load ~seed ~scale in
+  let cfg =
+    Config.with_workload ~name:workload
+      (Ppt_workload.Dists.by_name workload) cfg
+  in
+  match incast with
+  | None -> cfg
+  | Some n -> { cfg with Config.pattern = Config.Incast { n_senders = n } }
+
+(* ---- run ---- *)
+
+let dump_fcts path records =
+  let oc = open_out path in
+  output_string oc
+    "flow,size_bytes,start_ns,fct_ns,retrans,hcp_payload,lcp_payload\n";
+  List.iter
+    (fun (r : Ppt_stats.Fct.record) ->
+       Printf.fprintf oc "%d,%d,%d,%d,%d,%d,%d\n" r.Ppt_stats.Fct.flow
+         r.Ppt_stats.Fct.size r.Ppt_stats.Fct.start
+         (r.Ppt_stats.Fct.finish - r.Ppt_stats.Fct.start)
+         r.Ppt_stats.Fct.retrans r.Ppt_stats.Fct.hcp_payload
+         r.Ppt_stats.Fct.lcp_payload)
+    records;
+  close_out oc
+
+let run_cmd =
+  let scheme_arg =
+    let doc = "Transport scheme to run (see $(b,ppt_sim list))." in
+    Arg.(value & opt string "ppt" & info [ "scheme" ] ~docv:"NAME" ~doc)
+  in
+  let dump_arg =
+    let doc = "Write per-flow results as CSV to $(docv)." in
+    Arg.(value & opt (some string) None
+         & info [ "dump-fcts" ] ~docv:"FILE" ~doc)
+  in
+  let trace_in_arg =
+    let doc =
+      "Replay a flow trace from $(docv) (CSV: id,src,dst,size_bytes,       start_ns) instead of generating one."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "trace-in" ] ~docv:"FILE" ~doc)
+  in
+  let trace_out_arg =
+    let doc = "Write the generated flow trace as CSV to $(docv)." in
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let read_file path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let run topo scheme workload load flows seed full incast dump
+      trace_in trace_out verbose =
+    setup_logs verbose;
+    match List.assoc_opt scheme scheme_names with
+    | None -> `Error (false, "unknown scheme: " ^ scheme)
+    | Some s ->
+      let cfg = config_of ~topo ~workload ~load ~flows ~seed ~full ~incast in
+      let trace =
+        Option.map
+          (fun path -> Ppt_workload.Trace.of_csv (read_file path))
+          trace_in
+      in
+      let r = Runner.run ?trace cfg s in
+      pp_result r;
+      (match trace_out with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc (Ppt_workload.Trace.to_csv r.Runner.trace);
+         close_out oc;
+         Format.printf "trace written to %s@." path
+       | None -> ());
+      (match dump with
+       | Some path ->
+         dump_fcts path r.Runner.records;
+         Format.printf "per-flow results written to %s@." path
+       | None -> ());
+      `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ topo_arg $ scheme_arg $ workload_arg
+               $ load_arg $ flows_arg $ seed_arg $ full_arg $ incast_arg
+               $ dump_arg $ trace_in_arg $ trace_out_arg $ verbose_arg))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one transport over one workload") term
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let run topo workload load flows seed full incast =
+    let cfg = config_of ~topo ~workload ~load ~flows ~seed ~full ~incast in
+    let ppf = Format.std_formatter in
+    Ppt_stats.Table.header ppf
+      [ "overall"; "small-avg"; "small-p99"; "large-avg" ];
+    List.iter
+      (fun s ->
+         let r = Runner.run cfg s in
+         let sm = r.Runner.summary in
+         Ppt_stats.Table.row ppf r.Runner.r_scheme
+           [ sm.Ppt_stats.Fct.overall_avg; sm.Ppt_stats.Fct.small_avg;
+             sm.Ppt_stats.Fct.small_p99; sm.Ppt_stats.Fct.large_avg ])
+      Schemes.headline;
+    Format.pp_print_flush ppf ();
+    `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ topo_arg $ workload_arg $ load_arg $ flows_arg
+               $ seed_arg $ full_arg $ incast_arg))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run the six headline schemes over one configuration")
+    term
+
+(* ---- figure ---- *)
+
+let figure_cmd =
+  let id_arg =
+    let doc = "Experiment id (fig1..fig29, tab1..tab5)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let flows_scale_arg =
+    let doc = "Scale every experiment's flow count." in
+    Arg.(value & opt float 1.0 & info [ "flows-scale" ] ~docv:"F" ~doc)
+  in
+  let run id flows_scale seed full =
+    match Figures.find id with
+    | None -> `Error (false, "unknown experiment id: " ^ id)
+    | Some (_, _, f) ->
+      let opts = { Figures.flows_scale; seed; full } in
+      f opts Format.std_formatter;
+      Format.pp_print_flush Format.std_formatter ();
+      `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ id_arg $ flows_scale_arg $ seed_arg $ full_arg))
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures/tables")
+    term
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "schemes:@.";
+    List.iter (fun (n, _) -> Format.printf "  %s@." n) scheme_names;
+    Format.printf "topologies: testbed oversub fast non-oversub dumbbell@.";
+    Format.printf "workloads: web-search data-mining memcached@.";
+    Format.printf "experiments:@.";
+    List.iter
+      (fun (id, descr, _) -> Format.printf "  %-8s %s@." id descr)
+      Figures.all;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List schemes, topologies and experiments")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let doc = "PPT: a pragmatic transport for datacenters (simulator)" in
+  let info = Cmd.info "ppt_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ run_cmd; compare_cmd; figure_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/incast_memcached.ml: Config Dists Format List Ppt_harness Ppt_stats Ppt_workload Runner Schemes

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Context Endpoint Flow Format Ppt_core Ppt_engine Ppt_netsim Ppt_stats Ppt_transport Prio_queue Rng Sim Topology Units

@@ -1,0 +1,1 @@
+examples/spare_bandwidth.ml: Context Dctcp Float Flow Format Lcp List Net Packet Ppt_core Ppt_engine Ppt_netsim Ppt_stats Ppt_transport Prio_queue Receiver Reliable Rng Sim Topology Units

@@ -1,0 +1,1 @@
+examples/spare_bandwidth.mli:

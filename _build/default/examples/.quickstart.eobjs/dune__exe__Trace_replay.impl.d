@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Config Fct Format List Ppt_harness Ppt_stats Ppt_workload Runner Schemes String Table Trace

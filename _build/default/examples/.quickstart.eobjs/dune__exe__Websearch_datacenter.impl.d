@@ -1,0 +1,1 @@
+examples/websearch_datacenter.ml: Config Fct Format List Ppt_harness Ppt_stats Runner Schemes Table

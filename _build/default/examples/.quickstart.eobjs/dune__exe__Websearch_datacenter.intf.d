@@ -1,0 +1,1 @@
+examples/websearch_datacenter.mli:

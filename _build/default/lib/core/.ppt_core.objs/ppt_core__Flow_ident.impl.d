@@ -1,0 +1,1 @@
+lib/core/flow_ident.ml: Sendbuf

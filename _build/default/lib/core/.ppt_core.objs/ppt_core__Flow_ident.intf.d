@@ -1,0 +1,1 @@
+lib/core/flow_ident.mli: Ppt_engine Sendbuf

@@ -1,0 +1,1 @@
+lib/core/lcp.ml: Context Dctcp Flow Logs Ppt_engine Ppt_transport Reliable Sim Units

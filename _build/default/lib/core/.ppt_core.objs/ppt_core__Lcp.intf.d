@@ -1,0 +1,1 @@
+lib/core/lcp.mli: Context Dctcp Ppt_transport Reliable

@@ -1,0 +1,1 @@
+lib/core/ppt.ml: Context Dctcp Endpoint Flow Flow_ident Lcp Packet Ppt_netsim Ppt_transport Printf Receiver Reliable Sendbuf Tagging

@@ -1,0 +1,1 @@
+lib/core/ppt.mli: Context Endpoint Flow_ident Ppt_transport Sendbuf

@@ -1,0 +1,1 @@
+lib/core/ppt_hpcc.ml: Context Dctcp Endpoint Float Flow Flow_ident Hpcc Lcp Ppt Ppt_netsim Ppt_transport Receiver Reliable Tagging

@@ -1,0 +1,1 @@
+lib/core/ppt_swift.ml: Context Dctcp Endpoint Float Flow Flow_ident Lcp Ppt Ppt_netsim Ppt_transport Receiver Reliable Swift Tagging

@@ -1,0 +1,1 @@
+lib/core/sendbuf.ml: Ppt_engine Rng Units

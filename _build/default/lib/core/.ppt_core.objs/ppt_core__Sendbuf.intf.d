@@ -1,0 +1,1 @@
+lib/core/sendbuf.mli: Ppt_engine

@@ -1,0 +1,1 @@
+lib/core/tagging.ml: Array Packet Ppt_netsim Prio_queue

@@ -1,0 +1,1 @@
+lib/core/tagging.mli: Ppt_netsim

@@ -1,0 +1,231 @@
+(* The low-priority control loop (LCP), §3 of the paper.
+
+   LCP rides on an HCP (DCTCP) sender and opportunistically transmits
+   segments from the tail of the send queue at low in-network priority,
+   to fill the spare bandwidth the primary loop leaves behind.
+
+   Intermittent loop initialization (§3.1):
+   - case 1 (startup): a loop opens when the flow starts — delayed to
+     the 2nd RTT for flows identified as large — with initial window
+     I = BDP - IW(DCTCP);
+   - case 2 (queue build-up): after the startup phase, a loop opens
+     whenever DCTCP's alpha reaches a minimum over the past RTTs, with
+     I = (1/2 - alpha_min) * W_max                    (Eq. 2).
+
+   Exponential window decreasing (§3.2):
+   - the initial window is paced out at I/RTT;
+   - the receiver returns one low-priority ACK per two opportunistic
+     packets, so the ACK-clocked sending rate halves every RTT;
+   - an ECN-marked (ECE) low-priority ACK is ignored: no new
+     opportunistic packet is triggered;
+   - the loop terminates after 2 RTTs without low-priority ACKs, and
+     the sender resumes watching for spare bandwidth. *)
+
+open Ppt_engine
+open Ppt_transport
+
+let log_src = Logs.Src.create "ppt.lcp" ~doc:"PPT low-priority control loop"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type params = {
+  ewd : bool;
+  (* false = Fig. 16 ablation: blast the initial window at line rate
+     and keep the ACK-clocked rate constant instead of halving *)
+  delay_large_to_2nd_rtt : bool;
+  idle_rtts : int;            (* loop termination threshold (2) *)
+}
+
+let default_params =
+  { ewd = true; delay_large_to_2nd_rtt = true; idle_rtts = 2 }
+
+type t = {
+  ctx : Context.t;
+  snd : Reliable.t;
+  view : Dctcp.view;
+  p : params;
+  identified_large : bool;
+  mutable opened : bool;
+  mutable tail_ptr : int;          (* next tail pick strictly below *)
+  mutable last_avail : int;
+  mutable alpha_min : float;
+  mutable last_activity : Units.time;
+  mutable pace_timer : Sim.timer option;
+  mutable watchdog : Sim.timer option;
+  mutable loops_opened : int;      (* diagnostics *)
+  mutable shut : bool;
+}
+
+let create ctx snd view ?(params = default_params) ~identified_large () =
+  let t =
+    { ctx; snd; view; p = params; identified_large;
+      opened = false;
+      tail_ptr = (Reliable.flow snd).Flow.nseg;
+      last_avail = -1;
+      alpha_min = infinity;
+      last_activity = 0;
+      pace_timer = None; watchdog = None;
+      loops_opened = 0; shut = false }
+  in
+  t
+
+let rtt t = t.ctx.Context.base_rtt
+let now t = Sim.now t.ctx.Context.sim
+let is_open t = t.opened
+let loops_opened t = t.loops_opened
+
+let cancel_pace t =
+  (match t.pace_timer with Some tm -> Sim.cancel tm | None -> ());
+  t.pace_timer <- None
+
+let cancel_watchdog t =
+  (match t.watchdog with Some tm -> Sim.cancel tm | None -> ());
+  t.watchdog <- None
+
+let shutdown t =
+  t.shut <- true;
+  cancel_pace t;
+  cancel_watchdog t
+
+let close_loop t =
+  if t.opened then begin
+    Log.debug (fun m ->
+        m "flow %d: loop closed at %a (alpha=%.3f)"
+          (Reliable.flow t.snd).Flow.id Units.pp_time (now t)
+          (t.view.Dctcp.alpha ()));
+    t.opened <- false;
+    cancel_pace t;
+    cancel_watchdog t;
+    (* Re-arm the case-2 detector relative to the present congestion
+       level: a loop reopens once alpha drops below where it stands
+       now, i.e. when spare bandwidth re-emerges. *)
+    t.alpha_min <- t.view.Dctcp.alpha ()
+  end
+
+(* Pick and transmit one opportunistic segment from the tail of the
+   send buffer. Returns the payload sent (0 when the tail is
+   exhausted or the loops have crossed). *)
+let send_one t =
+  match Reliable.lcp_pick_tail t.snd ~below:t.tail_ptr with
+  | None -> 0
+  | Some seq ->
+    t.tail_ptr <- seq;
+    Reliable.send_lcp_segment t.snd seq;
+    Flow.seg_payload (Reliable.flow t.snd) seq
+
+let rec watchdog_tick t () =
+  t.watchdog <- None;
+  if t.opened && not t.shut then begin
+    let idle_limit = t.p.idle_rtts * rtt t in
+    if now t - t.last_activity > idle_limit then close_loop t
+    else
+      t.watchdog <-
+        Some (Sim.schedule t.ctx.Context.sim ~after:(rtt t)
+                (watchdog_tick t))
+  end
+
+let arm_watchdog t =
+  cancel_watchdog t;
+  t.watchdog <-
+    Some (Sim.schedule t.ctx.Context.sim ~after:(rtt t) (watchdog_tick t))
+
+(* Pace [remaining] bytes of the initial window at I/RTT (EWD); without
+   EWD the whole window goes out back-to-back, at NIC line rate. *)
+let rec pace t ~window ~remaining () =
+  t.pace_timer <- None;
+  if t.opened && not t.shut && remaining > 0 then begin
+    let sent = send_one t in
+    if sent > 0 then begin
+      t.last_activity <- now t;
+      let remaining = remaining - sent in
+      if remaining > 0 then begin
+        if t.p.ewd then begin
+          let interval =
+            int_of_float
+              (float_of_int (rtt t) *. float_of_int sent
+               /. float_of_int window)
+          in
+          t.pace_timer <-
+            Some (Sim.schedule t.ctx.Context.sim ~after:(max 1 interval)
+                    (pace t ~window ~remaining))
+        end else
+          pace t ~window ~remaining ()
+      end
+    end
+    (* tail exhausted: stay open, the watchdog will close the loop *)
+  end
+
+let open_loop t ~initial_window =
+  if (not t.opened) && not t.shut then begin
+    let mss = Reliable.mss t.snd in
+    if initial_window >= mss then begin
+      Log.debug (fun m ->
+          m "flow %d: loop %d opened at %a, I=%dB"
+            (Reliable.flow t.snd).Flow.id (t.loops_opened + 1)
+            Units.pp_time (now t) initial_window);
+      t.opened <- true;
+      t.loops_opened <- t.loops_opened + 1;
+      t.last_activity <- now t;
+      arm_watchdog t;
+      pace t ~window:initial_window ~remaining:initial_window ()
+    end
+  end
+
+(* Case 1: spare bandwidth in the first RTTs (slow start). *)
+let case1_window t =
+  max 0 (t.ctx.Context.bdp - int_of_float (Reliable.cwnd t.snd))
+
+(* Case 2 (Eq. 2): I = (1/2 - alpha_min) * W_max. *)
+let case2_window t ~alpha =
+  let wmax = t.view.Dctcp.wmax () in
+  int_of_float ((0.5 -. alpha) *. wmax)
+
+let on_rtt_boundary t =
+  if not t.shut then begin
+    if (not t.opened) && t.view.Dctcp.in_ca () then begin
+      let alpha = t.view.Dctcp.alpha () in
+      if alpha <= t.alpha_min then begin
+        t.alpha_min <- alpha;
+        if alpha < 0.5 then
+          open_loop t ~initial_window:(case2_window t ~alpha)
+      end
+    end
+  end
+
+let on_lcp_ack t (ai : Reliable.ack_info) =
+  if not t.shut then begin
+    t.last_activity <- now t;
+    if t.opened && not ai.Reliable.ai_ece then begin
+      (* EWD: receiver sends one ACK per two opportunistic packets, so
+         one fresh packet per ACK halves the rate every RTT. Without
+         EWD the rate is kept constant by sending two. *)
+      let n = if t.p.ewd then 1 else 2 in
+      for _ = 1 to n do ignore (send_one t) done
+    end
+    (* An ECE-marked low-priority ACK is ignored (§3.2): it still
+       counts as loop activity but triggers no new packet. *)
+  end
+
+(* Send-buffer refill: newly buffered data sits above the current tail
+   pointer, so the tail scan restarts from the new horizon. *)
+let on_more_data t =
+  let hi = Reliable.avail_hi t.snd in
+  if hi > t.last_avail then begin
+    t.last_avail <- hi;
+    if t.tail_ptr <= hi then t.tail_ptr <- hi + 1
+  end
+
+let start t =
+  let sim = t.ctx.Context.sim in
+  t.last_avail <- Reliable.avail_hi t.snd;
+  (* install hooks on the sender and the DCTCP view *)
+  t.snd.Reliable.hook_on_lcp_ack <- (fun _ ai -> on_lcp_ack t ai);
+  t.snd.Reliable.hook_more_data <- (fun _ -> on_more_data t);
+  t.view.Dctcp.rtt_hook (fun () -> on_rtt_boundary t);
+  (* case 1: open at flow start, or at the 2nd RTT for identified-large
+     flows so that small flows own the first RTT (§3.1) *)
+  let delay =
+    if t.identified_large && t.p.delay_large_to_2nd_rtt then rtt t else 0
+  in
+  ignore (Sim.schedule sim ~after:delay (fun () ->
+      if not t.shut then open_loop t ~initial_window:(case1_window t)))

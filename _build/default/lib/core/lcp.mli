@@ -1,0 +1,48 @@
+(** The low-priority control loop (LCP): PPT's dual-loop rate control
+    (§3 of the paper).
+
+    Attach to a {!Ppt_transport.Reliable.t} sender running DCTCP
+    ({!Ppt_transport.Dctcp.attach}); the LCP then opportunistically
+    transmits tail segments at low priority to fill the spare
+    bandwidth, with intermittent loop initialization (§3.1) and
+    exponential window decreasing (§3.2). *)
+
+open Ppt_transport
+
+type params = {
+  ewd : bool;
+  (** [false] = Fig. 16 ablation: line-rate opportunistic bursts with
+      no per-RTT rate halving. *)
+  delay_large_to_2nd_rtt : bool;
+  (** Open the case-1 loop of identified-large flows one RTT late so
+      small flows own the first RTT (§3.1). *)
+  idle_rtts : int;
+  (** Terminate a loop after this many RTTs without low-priority ACKs
+      (2 in the paper). *)
+}
+
+val default_params : params
+
+type t
+
+val create :
+  Context.t -> Reliable.t -> Dctcp.view -> ?params:params ->
+  identified_large:bool -> unit -> t
+
+val start : t -> unit
+(** Install the sender/DCTCP hooks and schedule the case-1 loop. *)
+
+val shutdown : t -> unit
+(** Cancel all timers; the loop never reopens. *)
+
+val is_open : t -> bool
+val loops_opened : t -> int
+
+val case1_window : t -> int
+(** Case-1 initial window: BDP - current congestion window. *)
+
+val case2_window : t -> alpha:float -> int
+(** Case-2 initial window (Eq. 2): [(1/2 - alpha) * W_max]. *)
+
+val on_rtt_boundary : t -> unit
+(** Exposed for tests: the per-RTT case-2 trigger. *)

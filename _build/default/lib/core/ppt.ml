@@ -1,0 +1,108 @@
+(* PPT: the complete pragmatic transport (§2.3, Fig. 4).
+
+   HCP is stock DCTCP ({!Ppt_transport.Dctcp} on the shared reliable
+   sender); LCP is {!Lcp}; scheduling is buffer-aware identification
+   ({!Flow_ident}) plus mirror-symmetric tagging ({!Tagging}).
+
+   [make] builds the full transport; the [variant] knobs turn off one
+   design component at a time for the §6.3 ablations:
+   - [lcp_ecn = false]   — Fig. 15: opportunistic packets without ECN;
+   - [ewd = false]       — Fig. 16: line-rate LCP, no rate halving;
+   - [scheduling = false]— Fig. 17: single priority per band;
+   - [identification = false] — Fig. 18: all flows start unidentified;
+   - [lcp = false]       — degenerates to DCTCP + scheduling (PIAS-like). *)
+
+open Ppt_netsim
+open Ppt_transport
+
+type params = {
+  iw_segs : int;
+  sendbuf : Sendbuf.model;
+  ident : Flow_ident.t;
+  demotion : int array;
+  lcp : bool;
+  lcp_ecn : bool;
+  ewd : bool;
+  scheduling : bool;
+  identification : bool;
+  delay_large_to_2nd_rtt : bool;
+}
+
+let default_params =
+  { iw_segs = 10;
+    sendbuf = Sendbuf.default;
+    ident = Flow_ident.make ();
+    demotion = Tagging.default_demotion;
+    lcp = true; lcp_ecn = true; ewd = true;
+    scheduling = true; identification = true;
+    delay_large_to_2nd_rtt = true }
+
+let make ?(name = "ppt") ?(params = default_params) () ctx =
+  let mss = Packet.max_payload in
+  { Endpoint.t_name = name;
+    t_start = (fun flow ->
+        let identified =
+          params.identification
+          && Flow_ident.identify params.ident ctx.Context.rng
+               ~flow_size:flow.Flow.size
+        in
+        let tagger =
+          if params.scheduling then begin
+            let tag =
+              Tagging.make ~demotion:params.demotion
+                ~identified_large:identified ()
+            in
+            fun ~bytes_sent ~loop -> Tagging.prio tag ~loop ~bytes_sent
+          end else
+            fun ~bytes_sent ~loop -> Tagging.unscheduled ~loop ~bytes_sent
+        in
+        let rel_params =
+          Reliable.default_params ~initial_cwnd:(params.iw_segs * mss)
+            ~ecn_capable:true ~lcp_ecn_capable:params.lcp_ecn
+            ~sendbuf_bytes:params.sendbuf.Sendbuf.capacity ~tagger ()
+        in
+        let rcv_cfg =
+          { Receiver.ack_prio = 0; lcp_batch = 2; lcp_ack_prio = `Echo }
+        in
+        Endpoint.launch_window_flow ctx ~params:rel_params ~rcv_cfg
+          ~setup:(fun snd _rcv ->
+              let view = Dctcp.attach snd in
+              if params.lcp then begin
+                let lcp_params =
+                  { Lcp.default_params with
+                    ewd = params.ewd;
+                    delay_large_to_2nd_rtt =
+                      params.delay_large_to_2nd_rtt }
+                in
+                let lcp =
+                  Lcp.create ctx snd view ~params:lcp_params
+                    ~identified_large:identified ()
+                in
+                Lcp.start lcp;
+                fun () -> Lcp.shutdown lcp
+              end else
+                fun () -> ())
+          flow) }
+
+(* Ablation constructors used by the Fig. 15-18 experiments. *)
+
+let without_lcp_ecn () =
+  make ~name:"ppt-no-lcp-ecn"
+    ~params:{ default_params with lcp_ecn = false } ()
+
+let without_ewd () =
+  make ~name:"ppt-no-ewd" ~params:{ default_params with ewd = false } ()
+
+let without_scheduling () =
+  make ~name:"ppt-no-sched"
+    ~params:{ default_params with scheduling = false } ()
+
+let without_identification () =
+  make ~name:"ppt-no-ident"
+    ~params:{ default_params with identification = false } ()
+
+let with_sendbuf capacity =
+  let sendbuf = Sendbuf.make ~capacity () in
+  let ident = Flow_ident.make ~model:sendbuf () in
+  make ~name:(Printf.sprintf "ppt-sb-%dK" (capacity / 1000))
+    ~params:{ default_params with sendbuf; ident } ()

@@ -1,0 +1,38 @@
+(** PPT: the complete pragmatic transport (dual-loop rate control +
+    buffer-aware flow scheduling), and its ablation variants. *)
+
+open Ppt_transport
+
+type params = {
+  iw_segs : int;                  (** DCTCP initial window in segments *)
+  sendbuf : Sendbuf.model;
+  ident : Flow_ident.t;
+  demotion : int array;           (** tagging age-down thresholds *)
+  lcp : bool;                     (** run the low-priority loop *)
+  lcp_ecn : bool;                 (** ECN on opportunistic packets *)
+  ewd : bool;                     (** exponential window decreasing *)
+  scheduling : bool;              (** mirror-symmetric tagging *)
+  identification : bool;          (** buffer-aware identification *)
+  delay_large_to_2nd_rtt : bool;
+}
+
+val default_params : params
+
+val make :
+  ?name:string -> ?params:params -> unit -> Context.t ->
+  Endpoint.transport
+
+val without_lcp_ecn : unit -> Context.t -> Endpoint.transport
+(** Fig. 15 ablation. *)
+
+val without_ewd : unit -> Context.t -> Endpoint.transport
+(** Fig. 16 ablation. *)
+
+val without_scheduling : unit -> Context.t -> Endpoint.transport
+(** Fig. 17 ablation. *)
+
+val without_identification : unit -> Context.t -> Endpoint.transport
+(** Fig. 18 ablation. *)
+
+val with_sendbuf : int -> Context.t -> Endpoint.transport
+(** Fig. 27 sensitivity: PPT with the given send-buffer capacity. *)

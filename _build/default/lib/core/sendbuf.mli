@@ -1,0 +1,23 @@
+(** TCP send-buffer and system-call model (§4.1 of the paper).
+
+    Models how applications copy message data into the kernel send
+    buffer, calibrated to reproduce the paper's measured buffer-aware
+    identification accuracy (86.7% on Memcached, 84.3% on web flows). *)
+
+type model = {
+  capacity : int;
+  single_write_prob : float;
+  chunk_bytes : int;
+}
+
+val default : model
+(** 2GB capacity (the paper's §6.2 setting), 86.7% single-write
+    applications, 512B streaming chunks. *)
+
+val make :
+  ?capacity:int -> ?single_write_prob:float -> ?chunk_bytes:int ->
+  unit -> model
+
+val first_syscall_size :
+  model -> Ppt_engine.Rng.t -> flow_size:int -> int
+(** Bytes the application's first system call copies into the buffer. *)

@@ -1,0 +1,80 @@
+(* Binary min-heap keyed by [(key, tie)] pairs.
+
+   The secondary [tie] key is an insertion sequence number supplied by
+   the caller, which makes the pop order of equal-time events
+   deterministic (FIFO within a timestamp). *)
+
+type 'a t = {
+  mutable keys : int array;
+  mutable ties : int array;
+  mutable data : 'a array;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let create ~dummy =
+  { keys = Array.make 64 0; ties = Array.make 64 0;
+    data = Array.make 64 dummy; size = 0; dummy }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let n = Array.length t.keys in
+  let keys = Array.make (2 * n) 0
+  and ties = Array.make (2 * n) 0
+  and data = Array.make (2 * n) t.dummy in
+  Array.blit t.keys 0 keys 0 n;
+  Array.blit t.ties 0 ties 0 n;
+  Array.blit t.data 0 data 0 n;
+  t.keys <- keys; t.ties <- ties; t.data <- data
+
+let less t i j =
+  t.keys.(i) < t.keys.(j)
+  || (t.keys.(i) = t.keys.(j) && t.ties.(i) < t.ties.(j))
+
+let swap t i j =
+  let k = t.keys.(i) in t.keys.(i) <- t.keys.(j); t.keys.(j) <- k;
+  let s = t.ties.(i) in t.ties.(i) <- t.ties.(j); t.ties.(j) <- s;
+  let d = t.data.(i) in t.data.(i) <- t.data.(j); t.data.(j) <- d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin swap t i parent; sift_up t parent end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = i in
+  let smallest = if l < t.size && less t l smallest then l else smallest in
+  let smallest = if r < t.size && less t r smallest then r else smallest in
+  if smallest <> i then begin swap t i smallest; sift_down t smallest end
+
+let push t ~key ~tie v =
+  if t.size = Array.length t.keys then grow t;
+  let i = t.size in
+  t.keys.(i) <- key; t.ties.(i) <- tie; t.data.(i) <- v;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let min_key t = if t.size = 0 then None else Some t.keys.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) and v = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.keys.(0) <- t.keys.(t.size);
+      t.ties.(0) <- t.ties.(t.size);
+      t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- t.dummy;
+      sift_down t 0
+    end else t.data.(0) <- t.dummy;
+    Some (key, v)
+  end
+
+let clear t =
+  Array.fill t.data 0 t.size t.dummy;
+  t.size <- 0

@@ -1,0 +1,16 @@
+(** Binary min-heap with a deterministic FIFO tie-break on equal keys. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [dummy] fills vacated slots so popped values can be collected. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> tie:int -> 'a -> unit
+(** Insert a value; among equal [key]s, lower [tie] pops first. *)
+
+val min_key : 'a t -> int option
+val pop : 'a t -> (int * 'a) option
+val clear : 'a t -> unit

@@ -1,0 +1,29 @@
+(** Discrete-event simulator: clock, event heap, cancellable timers.
+
+    Determinism: equal-time events fire in the order they were
+    scheduled, and all randomness comes from explicitly seeded
+    {!Rng} streams, so a run is a pure function of its seed. *)
+
+type t
+type timer
+
+val create : unit -> t
+
+val now : t -> Units.time
+val events_processed : t -> int
+val pending : t -> int
+
+val schedule_at : t -> Units.time -> (unit -> unit) -> timer
+(** Raises [Invalid_argument] if the time is in the past. *)
+
+val schedule : t -> after:Units.time -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+(** Cancelling an already-fired or cancelled timer is a no-op. *)
+
+val stop : t -> unit
+(** Stop the run loop after the current event. *)
+
+val run : ?until:Units.time -> ?max_events:int -> t -> unit
+(** Process events until the heap empties, [stop] is called, the clock
+    would pass [until], or [max_events] have fired. *)

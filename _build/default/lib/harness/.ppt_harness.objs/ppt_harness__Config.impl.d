@@ -1,0 +1,1 @@
+lib/harness/config.ml: Cdf Dists Ppt_engine Ppt_netsim Ppt_workload Topology Units

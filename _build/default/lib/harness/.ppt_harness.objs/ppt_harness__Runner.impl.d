@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Config Context Endpoint Fct Flow List Net Ppt_engine Ppt_netsim Ppt_stats Ppt_transport Ppt_workload Prio_queue Rng Schemes Sim Topology Trace Units

@@ -1,0 +1,1 @@
+lib/harness/schemes.ml: Context Dctcp Endpoint Expresspass Halfback Homa Hpcc Ndp Pias Ppt Ppt_core Ppt_engine Ppt_hpcc Ppt_netsim Ppt_swift Ppt_transport Printf Rc3 Swift Tcp Units

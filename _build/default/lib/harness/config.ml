@@ -1,0 +1,153 @@
+(* Experiment configuration: topology shape, switch parameters, the
+   workload and the offered load.
+
+   The named constructors mirror the paper's setups:
+   - [testbed]      — the CloudLab cluster of §6.1 (15 hosts, one
+                      switch, 10G NICs, ~80us RTT, Table 3 parameters);
+   - [oversub]      — §6.2's 1.4:1 oversubscribed two-tier fabric
+                      (9 leaves x 16 hosts at 40G, 4 spines at 100G);
+   - [fast]         — the same shape at 100/400G (Fig. 22);
+   - [non_oversub]  — appendix E's fully-provisioned fabric.
+
+   [scale] shrinks the fabric (fewer leaves/hosts) so a full bench run
+   completes in minutes; the shapes and oversubscription ratios are
+   preserved. *)
+
+open Ppt_engine
+open Ppt_netsim
+open Ppt_workload
+
+type topo_kind =
+  | Star of { n_hosts : int; rate : Units.rate; delay : Units.time }
+  | Leaf_spine of {
+      hosts_per_leaf : int;
+      n_leaf : int;
+      n_spine : int;
+      edge_rate : Units.rate;
+      core_rate : Units.rate;
+      edge_delay : Units.time;
+      core_delay : Units.time;
+    }
+
+type pattern_kind =
+  | All_to_all
+  | Incast of { n_senders : int }
+
+type t = {
+  name : string;
+  topo : topo_kind;
+  buffer_bytes : int;              (* per switch port *)
+  hp_thresh : int option;          (* ECN threshold, P0-P3 *)
+  lp_thresh : int option;          (* ECN threshold, P4-P7 *)
+  sel_drop_frac : float;           (* Aeolus threshold as buffer frac *)
+  dt : bool;                       (* dynamic-threshold buffer sharing *)
+  routing : Topology.routing;      (* leaf-spine load balancing *)
+  rto_min : Units.time;
+  workload : Cdf.t;
+  workload_name : string;
+  pattern : pattern_kind;
+  load : float;
+  n_flows : int;
+  seed : int;
+}
+
+let n_hosts t =
+  match t.topo with
+  | Star { n_hosts; _ } -> n_hosts
+  | Leaf_spine { hosts_per_leaf; n_leaf; _ } -> hosts_per_leaf * n_leaf
+
+let with_workload ?name cdf t =
+  let workload_name =
+    match name with Some n -> n | None -> t.workload_name
+  in
+  { t with workload = cdf; workload_name }
+
+(* §6.1 testbed: Table 3. *)
+let testbed ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
+  { name = "testbed";
+    topo =
+      Star { n_hosts = 15; rate = Units.gbps 10; delay = Units.us 19 };
+    buffer_bytes = Units.mb 1;       (* ~50MB shared by 54 ports *)
+    hp_thresh = Some (Units.kb 100);
+    lp_thresh = Some (Units.kb 80);
+    sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
+    rto_min = Units.ms 10;
+    workload = Dists.web_search; workload_name = "web-search";
+    pattern = All_to_all; load; n_flows; seed }
+
+(* §6.2 oversubscribed fabric: 40/100G, 120KB port buffer, ECN 96/86KB. *)
+let oversub ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
+  let n_leaf, hosts_per_leaf, n_spine =
+    if scale >= 9 then (9, 16, 4) else (max 2 scale, 8, 2)
+  in
+  { name = "oversub-40/100G";
+    topo =
+      Leaf_spine
+        { hosts_per_leaf; n_leaf; n_spine;
+          edge_rate = Units.gbps 40; core_rate = Units.gbps 100;
+          edge_delay = Units.us 1; core_delay = Units.us 1 };
+    buffer_bytes = Units.kb 120;
+    hp_thresh = Some (Units.kb 96);
+    lp_thresh = Some (Units.kb 86);
+    sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
+    rto_min = Units.ms 1;
+    workload = Dists.web_search; workload_name = "web-search";
+    pattern = All_to_all; load; n_flows; seed }
+
+(* Fig. 22: the same shape at 100/400G. *)
+let fast ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
+  let base = oversub ~scale ~n_flows ~load ~seed () in
+  let topo =
+    match base.topo with
+    | Leaf_spine ls ->
+      Leaf_spine
+        { ls with
+          edge_rate = Units.gbps 100; core_rate = Units.gbps 400 }
+    | Star _ -> assert false
+  in
+  { base with name = "oversub-100/400G"; topo;
+              buffer_bytes = Units.kb 240;
+              hp_thresh = Some (Units.kb 192);
+              lp_thresh = Some (Units.kb 172) }
+
+(* Appendix E: non-oversubscribed (16x10G down = 4x40G up per leaf). *)
+let non_oversub ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1)
+    () =
+  let n_leaf, hosts_per_leaf, n_spine =
+    if scale >= 9 then (9, 16, 4) else (max 2 scale, 8, 2)
+  in
+  { name = "non-oversub-10/40G";
+    topo =
+      Leaf_spine
+        { hosts_per_leaf; n_leaf; n_spine;
+          edge_rate = Units.gbps 10; core_rate = Units.gbps 40;
+          edge_delay = Units.us 1; core_delay = Units.us 1 };
+    buffer_bytes = Units.kb 120;
+    hp_thresh = Some (Units.kb 96);
+    lp_thresh = Some (Units.kb 86);
+    sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
+    rto_min = Units.ms 1;
+    workload = Dists.web_search; workload_name = "web-search";
+    pattern = All_to_all; load; n_flows; seed }
+
+(* Figs. 1/20/28/29: two senders, one receiver, 40G bottleneck.
+
+   The 20us default per-link delay gives a base RTT near the testbed's
+   80us, putting the BDP (~430KB at 40G) well above the 120KB ECN
+   threshold — the regime where DCTCP's startup and window cuts leave
+   the bottleneck idle (Fig. 1's 25-50% utilization band). The deep
+   default buffer means ECN, not drop-tail, does the signalling.
+   Figs. 28/29 override both: the paper's 120KB total buffer at a
+   small RTT. *)
+let dumbbell ?(n_flows = 400) ?(load = 0.5) ?(seed = 1)
+    ?(delay = Units.us 20) ?(buffer_bytes = Units.mb 4)
+    ?(hp_thresh = Units.kb 120) ?(lp_thresh = Units.kb 100) () =
+  { name = "dumbbell-2to1-40G";
+    topo = Star { n_hosts = 3; rate = Units.gbps 40; delay };
+    buffer_bytes;
+    hp_thresh = Some hp_thresh;
+    lp_thresh = Some lp_thresh;
+    sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
+    rto_min = Units.ms 1;
+    workload = Dists.web_search; workload_name = "web-search";
+    pattern = Incast { n_senders = 2 }; load; n_flows; seed }

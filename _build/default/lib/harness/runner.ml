@@ -1,0 +1,166 @@
+(* Builds a fabric from a {!Config.t}, generates the flow trace, drives
+   one transport scheme over it and collects the statistics every
+   figure reports. *)
+
+open Ppt_engine
+open Ppt_netsim
+open Ppt_workload
+open Ppt_stats
+open Ppt_transport
+
+type result = {
+  r_scheme : string;
+  r_config : Config.t;
+  summary : Fct.summary;
+  completed : int;
+  requested : int;
+  drops : int;
+  marks : int;
+  last_finish : Units.time;          (* when the last flow completed *)
+  ops_per_host_sec : float;          (* datapath-operation rate proxy *)
+  efficiency : float;                (* delivered / transmitted payload *)
+  lp_efficiency : float;             (* same, low-priority loop only *)
+  events : int;
+  records : Fct.record list;         (* every completed flow *)
+  trace : Trace.spec list;           (* the flows that were launched *)
+  base_rtt : Units.time;
+  edge_rate : Units.rate;
+}
+
+let horizon = Units.sec 120
+
+let qcfg_of (cfg : Config.t) (scheme : Schemes.t) ~lp_buffer_cap =
+  let buffer_bytes =
+    match scheme.Schemes.s_buffer_override with
+    | Some b -> min b cfg.Config.buffer_bytes
+    | None -> cfg.Config.buffer_bytes
+  in
+  { Prio_queue.buffer_bytes;
+    mark_thresholds =
+      Prio_queue.mark_bands ~hp:cfg.Config.hp_thresh
+        ~lp:cfg.Config.lp_thresh;
+    mark_basis = Prio_queue.Port_occupancy;
+    trim = scheme.Schemes.s_trim;
+    sel_drop_threshold =
+      (if scheme.Schemes.s_sel_drop then
+         Some
+           (int_of_float
+              (cfg.Config.sel_drop_frac *. float_of_int buffer_bytes))
+       else None);
+    lp_buffer_cap;
+    (* commodity-switch dynamic buffer sharing: the low-priority band
+       is squeezed out first when the buffer runs hot, so opportunistic
+       traffic cannot displace primary-loop packets (cf. Fig. 23's
+       "PPT falls back to DCTCP under heavy incast") *)
+    dt_alphas =
+      (if cfg.Config.dt then
+         Some (Prio_queue.dt_bands ~hp:8.0 ~lp:1.0)
+       else None) }
+
+let build_topology sim (cfg : Config.t) (scheme : Schemes.t)
+    ~lp_buffer_cap =
+  let qcfg = qcfg_of cfg scheme ~lp_buffer_cap in
+  let collect_int = scheme.Schemes.s_collect_int in
+  match cfg.Config.topo with
+  | Config.Star { n_hosts; rate; delay } ->
+    Topology.star ~collect_int ~sim ~n_hosts ~rate ~delay ~qcfg ()
+  | Config.Leaf_spine
+      { hosts_per_leaf; n_leaf; n_spine; edge_rate; core_rate;
+        edge_delay; core_delay } ->
+    Topology.leaf_spine ~collect_int ~routing:cfg.Config.routing ~sim
+      ~hosts_per_leaf ~n_leaf ~n_spine ~edge_rate ~core_rate
+      ~edge_delay ~core_delay ~qcfg ()
+
+let pattern_of (cfg : Config.t) (topo : Topology.built) =
+  let hosts = topo.Topology.hosts in
+  match cfg.Config.pattern with
+  | Config.All_to_all -> Trace.All_to_all hosts
+  | Config.Incast { n_senders } ->
+    let n = Array.length hosts in
+    if n_senders >= n then invalid_arg "Runner: incast needs a receiver";
+    Trace.Incast
+      { senders = Array.sub hosts 0 n_senders;
+        receiver = hosts.(n - 1) }
+
+(* Launch every flow of the trace at its start time and stop the
+   simulation once they have all completed. [observe] may install
+   samplers before the clock starts. *)
+let run ?lp_buffer_cap ?trace ?(observe = fun _ _ -> ())
+    (cfg : Config.t) (scheme : Schemes.t) =
+  let sim = Sim.create () in
+  let topo = build_topology sim cfg scheme ~lp_buffer_cap in
+  let rng = Rng.create cfg.Config.seed in
+  let ctx = Context.of_topology ~rto_min:cfg.Config.rto_min ~rng topo in
+  let trace =
+    match trace with
+    | Some t -> t
+    | None ->
+      Trace.generate ~rng:(Rng.split rng) ~cdf:cfg.Config.workload
+        ~pattern:(pattern_of cfg topo)
+        ~edge_rate:topo.Topology.edge_rate ~load:cfg.Config.load
+        ~n_flows:cfg.Config.n_flows ()
+  in
+  let transport = scheme.Schemes.s_factory ctx in
+  let requested = List.length trace in
+  let last_finish = ref 0 in
+  ctx.Context.on_complete <- (fun _ ->
+      last_finish := Sim.now sim;
+      if ctx.Context.completed = requested then Sim.stop sim);
+  List.iter
+    (fun spec ->
+       ignore (Sim.schedule_at sim spec.Trace.start (fun () ->
+           ctx.Context.started <- ctx.Context.started + 1;
+           transport.Endpoint.t_start (Flow.of_spec spec))))
+    trace;
+  observe ctx topo;
+  Sim.run ~until:horizon sim;
+  let summary = Fct.summarize ctx.Context.fct in
+  let records = Fct.records ctx.Context.fct in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 records in
+  let sent =
+    sum (fun r -> r.Fct.hcp_payload) + sum (fun r -> r.Fct.lcp_payload)
+  in
+  let delivered =
+    sum (fun r -> r.Fct.hcp_delivered)
+    + sum (fun r -> r.Fct.lcp_delivered)
+  in
+  let lp_sent = sum (fun r -> r.Fct.lcp_payload) in
+  let lp_delivered = sum (fun r -> r.Fct.lcp_delivered) in
+  let ratio num den =
+    if den = 0 then nan else float_of_int num /. float_of_int den
+  in
+  let duration_s = Units.to_sec (max 1 (Sim.now sim)) in
+  let n_hosts = Array.length topo.Topology.hosts in
+  let total_ops =
+    Array.fold_left ( + ) 0
+      (Array.sub ctx.Context.ops 0 n_hosts)
+  in
+  { r_scheme = scheme.Schemes.s_name;
+    r_config = cfg;
+    summary;
+    completed = ctx.Context.completed;
+    requested;
+    drops = Net.total_drops ctx.Context.net;
+    marks = Net.total_marks ctx.Context.net;
+    last_finish = !last_finish;
+    ops_per_host_sec =
+      float_of_int total_ops /. duration_s /. float_of_int n_hosts;
+    efficiency = ratio delivered sent;
+    lp_efficiency = ratio lp_delivered lp_sent;
+    events = Sim.events_processed sim;
+    records;
+    trace;
+    base_rtt = topo.Topology.base_rtt;
+    edge_rate = topo.Topology.edge_rate }
+
+(* Run with an observer that returns a value (samplers, probes). *)
+let run_observed ?lp_buffer_cap (cfg : Config.t) (scheme : Schemes.t)
+    ~probe =
+  let captured = ref None in
+  let result =
+    run ?lp_buffer_cap cfg scheme ~observe:(fun ctx topo ->
+        captured := Some (probe ctx topo))
+  in
+  match !captured with
+  | Some v -> (result, v)
+  | None -> assert false

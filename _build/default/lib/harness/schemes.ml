@@ -1,0 +1,73 @@
+(* The catalogue of transports the experiments compare, with the
+   fabric features each one needs (NDP wants trimming, HPCC wants
+   inband telemetry, Aeolus wants selective dropping). *)
+
+open Ppt_engine
+open Ppt_transport
+open Ppt_core
+
+type t = {
+  s_name : string;
+  s_factory : Context.t -> Endpoint.transport;
+  s_trim : bool;
+  s_collect_int : bool;
+  s_sel_drop : bool;
+  s_buffer_override : int option;
+  (* NDP is designed for very shallow buffers (a handful of packets per
+     port); running it with its recommended buffering is part of the
+     paper's comparison setup *)
+}
+
+let plain name factory =
+  { s_name = name; s_factory = factory; s_trim = false;
+    s_collect_int = false; s_sel_drop = false; s_buffer_override = None }
+
+let ppt = plain "ppt" (Ppt.make ())
+let dctcp = plain "dctcp" (Dctcp.make ())
+let rc3 = plain "rc3" (Rc3.make ())
+let pias = plain "pias" (Pias.make ())
+let swift = plain "swift" (Swift.make ())
+let ppt_swift = plain "ppt-swift" (Ppt_swift.make ())
+let homa = plain "homa" (Homa.make ())
+
+let aeolus =
+  { (plain "aeolus" (Homa.make_aeolus ())) with s_sel_drop = true }
+
+let ndp =
+  { (plain "ndp" (Ndp.make ())) with
+    s_trim = true;
+    s_buffer_override = Some (12 * Ppt_netsim.Packet.mtu) }
+let hpcc = { (plain "hpcc" (Hpcc.make ())) with s_collect_int = true }
+
+let tcp = plain "tcp" (Tcp.make ())
+let tcp10 = plain "tcp-10" (Tcp.make_tcp10 ())
+let halfback = plain "halfback" (Halfback.make ())
+let expresspass = plain "expresspass" (Expresspass.make ())
+
+let ppt_hpcc =
+  { (plain "ppt-hpcc" (Ppt_hpcc.make ())) with s_collect_int = true }
+
+let ppt_no_lcp_ecn = plain "ppt-no-lcp-ecn" (Ppt.without_lcp_ecn ())
+let ppt_no_ewd = plain "ppt-no-ewd" (Ppt.without_ewd ())
+let ppt_no_sched = plain "ppt-no-sched" (Ppt.without_scheduling ())
+let ppt_no_ident = plain "ppt-no-ident" (Ppt.without_identification ())
+
+let ppt_sendbuf bytes =
+  plain (Printf.sprintf "ppt-sb-%s"
+           (if bytes >= Units.mb 1000 then
+              Printf.sprintf "%dG" (bytes / Units.mb 1000)
+            else if bytes >= Units.mb 1 then
+              Printf.sprintf "%dM" (bytes / Units.mb 1)
+            else Printf.sprintf "%dK" (bytes / 1000)))
+    (Ppt.with_sendbuf bytes)
+
+(* the §6.2 six-scheme comparison set *)
+let headline = [ ndp; aeolus; homa; rc3; dctcp; ppt ]
+
+(* the §6.1 testbed comparison set *)
+let testbed_set = [ homa; rc3; dctcp; ppt ]
+
+(* every transport in Table 1 that this repository implements *)
+let table1_set =
+  [ dctcp; tcp10; halfback; rc3; pias; hpcc; homa; aeolus; expresspass;
+    ndp; ppt ]

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Hashtbl Packet Ppt_engine Prio_queue Sim Units

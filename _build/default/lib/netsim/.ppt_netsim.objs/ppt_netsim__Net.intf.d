@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Packet Ppt_engine Prio_queue Sim Units

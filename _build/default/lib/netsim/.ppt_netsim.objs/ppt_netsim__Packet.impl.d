@@ -1,0 +1,1 @@
+lib/netsim/packet.ml: Fmt Ppt_engine Units

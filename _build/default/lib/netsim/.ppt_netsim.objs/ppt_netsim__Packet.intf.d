@@ -1,0 +1,1 @@
+lib/netsim/packet.mli: Format Ppt_engine Units

@@ -1,0 +1,1 @@
+lib/netsim/prio_queue.ml: Array Packet Queue

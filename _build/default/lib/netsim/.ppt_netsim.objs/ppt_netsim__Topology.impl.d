@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Fun Hashtbl Net Packet Ppt_engine Printf Prio_queue Sim Units

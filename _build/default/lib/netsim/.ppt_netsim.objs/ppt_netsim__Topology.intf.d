@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Net Ppt_engine Prio_queue Sim Units

@@ -1,0 +1,147 @@
+(* The network fabric: nodes (hosts and switches) connected by
+   unidirectional ports, each with a strict-priority queue discipline
+   and a serialization + propagation model.
+
+   A packet injected at its source host is queued on the host NIC port,
+   forwarded switch by switch (each switch consults its routing
+   function), and finally delivered to the endpoint handler registered
+   for (destination host, flow id). *)
+
+open Ppt_engine
+
+type port = {
+  owner : int;
+  pix : int;
+  rate : Units.rate;
+  delay : Units.time;
+  mutable peer : int;               (* node id at the far end *)
+  q : Prio_queue.t;
+  mutable busy : bool;
+  mutable tx_bytes : int;           (* cumulative wire bytes sent *)
+  mutable tx_payload : int;         (* cumulative data payload sent *)
+}
+
+type node = {
+  nid : int;
+  is_host : bool;
+  ports : port array;
+  (* Maps a packet to the egress port index; only used on switches. *)
+  mutable route : Packet.t -> int;
+}
+
+type t = {
+  sim : Sim.t;
+  nodes : node array;
+  handlers : (int * int, Packet.t -> unit) Hashtbl.t;
+  collect_int : bool;
+  mutable delivered : int;
+  mutable undeliverable : int;
+}
+
+let no_route (_ : Packet.t) = invalid_arg "Net: route not installed"
+
+let make_port ~owner ~pix ~rate ~delay qcfg =
+  { owner; pix; rate; delay; peer = -1; q = Prio_queue.create qcfg;
+    busy = false; tx_bytes = 0; tx_payload = 0 }
+
+let make_node ~nid ~is_host ports =
+  { nid; is_host; ports; route = no_route }
+
+let create sim ?(collect_int = false) nodes =
+  Array.iteri (fun i n ->
+      if n.nid <> i then invalid_arg "Net.create: node ids must be dense";
+      Array.iter (fun p ->
+          if p.peer < 0 || p.peer >= Array.length nodes then
+            invalid_arg "Net.create: unconnected port")
+        n.ports)
+    nodes;
+  { sim; nodes; handlers = Hashtbl.create 1024; collect_int;
+    delivered = 0; undeliverable = 0 }
+
+let sim t = t.sim
+let node t nid = t.nodes.(nid)
+let port t nid pix = t.nodes.(nid).ports.(pix)
+let n_nodes t = Array.length t.nodes
+
+let register t ~host ~flow handler =
+  Hashtbl.replace t.handlers (host, flow) handler
+
+let unregister t ~host ~flow = Hashtbl.remove t.handlers (host, flow)
+
+let stamp_int t (port : port) (p : Packet.t) =
+  if t.collect_int && p.kind = Data then
+    p.int_tel <-
+      { Packet.hop_qlen = Prio_queue.bytes port.q;
+        hop_tx_bytes = port.tx_bytes;
+        hop_ts = Sim.now t.sim;
+        hop_rate = port.rate }
+      :: p.int_tel
+
+let deliver t (p : Packet.t) =
+  match Hashtbl.find_opt t.handlers (p.dst, p.flow) with
+  | Some handler -> t.delivered <- t.delivered + 1; handler p
+  | None -> t.undeliverable <- t.undeliverable + 1
+
+(* Transmit loop of a port: while the queue is non-empty, pop the next
+   packet, hold the wire for its serialization time, then hand it to the
+   far node after the propagation delay. *)
+let rec start_tx t (port : port) =
+  match Prio_queue.dequeue port.q with
+  | None -> port.busy <- false
+  | Some p ->
+    port.busy <- true;
+    let tx = Units.tx_time ~rate:port.rate ~bytes:p.wire in
+    port.tx_bytes <- port.tx_bytes + p.wire;
+    if p.kind = Data && not p.trimmed then
+      port.tx_payload <- port.tx_payload + p.payload;
+    let arrive_after = tx + port.delay in
+    ignore (Sim.schedule t.sim ~after:arrive_after (fun () ->
+        receive t port.peer p));
+    ignore (Sim.schedule t.sim ~after:tx (fun () -> start_tx t port))
+
+and send_on_port t (port : port) (p : Packet.t) =
+  stamp_int t port p;
+  match Prio_queue.enqueue port.q p with
+  | Prio_queue.Dropped -> ()
+  | Enqueued | Trimmed -> if not port.busy then start_tx t port
+
+and receive t nid (p : Packet.t) =
+  let node = t.nodes.(nid) in
+  if node.is_host then begin
+    if p.dst = nid then deliver t p
+    else t.undeliverable <- t.undeliverable + 1
+  end else begin
+    let pix = node.route p in
+    send_on_port t node.ports.(pix) p
+  end
+
+(* Inject a packet at its source host NIC (port 0 by convention). *)
+let send t (p : Packet.t) =
+  let host = t.nodes.(p.src) in
+  if not host.is_host then invalid_arg "Net.send: src is not a host";
+  send_on_port t host.ports.(0) p
+
+let delivered t = t.delivered
+let undeliverable t = t.undeliverable
+
+(* Aggregate drop/mark counters over every port in the network. *)
+let total_drops t =
+  Array.fold_left (fun acc n ->
+      Array.fold_left (fun acc p -> acc + Prio_queue.drops p.q) acc n.ports)
+    0 t.nodes
+
+let total_drops_band t ~lp =
+  let f = if lp then Prio_queue.drops_lp else Prio_queue.drops_hp in
+  Array.fold_left (fun acc n ->
+      Array.fold_left (fun acc p -> acc + f p.q) acc n.ports)
+    0 t.nodes
+
+let total_marks t =
+  Array.fold_left (fun acc n ->
+      Array.fold_left (fun acc p -> acc + Prio_queue.marks p.q) acc n.ports)
+    0 t.nodes
+
+let total_tx_bytes t =
+  Array.fold_left (fun acc n ->
+      Array.fold_left (fun acc p -> acc + p.tx_bytes) acc n.ports)
+    0 t.nodes

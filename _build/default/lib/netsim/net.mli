@@ -1,0 +1,61 @@
+(** Network fabric: hosts and switches connected by ports.
+
+    A port is unidirectional: it owns an egress {!Prio_queue.t}, a line
+    rate and a propagation delay, and points at a peer node. Topology
+    builders create nodes/ports, wire peers, install switch routing
+    functions and then call {!create}. *)
+
+open Ppt_engine
+
+type port = {
+  owner : int;
+  pix : int;
+  rate : Units.rate;
+  delay : Units.time;
+  mutable peer : int;
+  q : Prio_queue.t;
+  mutable busy : bool;
+  mutable tx_bytes : int;
+  mutable tx_payload : int;
+}
+
+type node = {
+  nid : int;
+  is_host : bool;
+  ports : port array;
+  mutable route : Packet.t -> int;
+}
+
+type t
+
+val make_port :
+  owner:int -> pix:int -> rate:Units.rate -> delay:Units.time ->
+  Prio_queue.config -> port
+
+val make_node : nid:int -> is_host:bool -> port array -> node
+
+val create : Sim.t -> ?collect_int:bool -> node array -> t
+(** Node ids must equal their array index and every port must be wired.
+    [collect_int] makes switches stamp HPCC inband telemetry on data
+    packets. *)
+
+val sim : t -> Sim.t
+val node : t -> int -> node
+val port : t -> int -> int -> port
+val n_nodes : t -> int
+
+val register : t -> host:int -> flow:int -> (Packet.t -> unit) -> unit
+(** Install the endpoint handler receiving flow [flow]'s packets that
+    arrive at [host]. *)
+
+val unregister : t -> host:int -> flow:int -> unit
+
+val send : t -> Packet.t -> unit
+(** Inject a packet at its source host's NIC. *)
+
+val delivered : t -> int
+val undeliverable : t -> int
+val total_drops : t -> int
+val total_drops_band : t -> lp:bool -> int
+val total_marks : t -> int
+val total_tx_bytes : t -> int

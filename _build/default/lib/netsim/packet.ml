@@ -1,0 +1,96 @@
+(* Packets are the unit of everything the simulator moves.
+
+   [src]/[dst] are host node ids; a packet is routed towards [dst] and
+   delivered to the endpoint registered there for [flow]. Transports
+   attach protocol-specific information through the extensible [meta]
+   variant so the network layer stays protocol-agnostic. *)
+
+open Ppt_engine
+
+type kind =
+  | Data  (* payload-carrying, sender to receiver *)
+  | Ack   (* receiver to sender *)
+  | Grant (* receiver-driven credit (Homa/Aeolus) *)
+  | Pull  (* receiver-driven pull (NDP) *)
+  | Nack  (* loss notification (NDP trimmed header echo, Aeolus) *)
+  | Ctrl  (* anything else *)
+
+type loop = H | L
+(** Which control loop a PPT/RC3-style packet belongs to: the
+    high-priority primary loop or the low-priority opportunistic one. *)
+
+type meta = ..
+type meta += No_meta
+
+(* One hop's inband telemetry snapshot, for HPCC. *)
+type int_hop = {
+  hop_qlen : int;           (* queue occupancy in bytes at enqueue *)
+  hop_tx_bytes : int;       (* cumulative bytes transmitted by the port *)
+  hop_ts : Units.time;      (* when the snapshot was taken *)
+  hop_rate : Units.rate;    (* port line rate *)
+}
+
+type t = {
+  uid : int;
+  flow : int;
+  src : int;
+  dst : int;
+  seq : int;        (* segment index within the flow; -1 for control *)
+  payload : int;    (* payload bytes covered (0 for pure control) *)
+  mutable wire : int;       (* bytes occupied on the wire *)
+  mutable prio : int;       (* 0 (highest) .. 7 (lowest) *)
+  kind : kind;
+  loop : loop;
+  ecn_capable : bool;
+  mutable ecn_ce : bool;    (* congestion-experienced mark *)
+  mutable trimmed : bool;   (* NDP: payload cut, header survived *)
+  sel_drop : bool;          (* Aeolus: drop me early instead of queueing *)
+  mutable int_tel : int_hop list;  (* HPCC inband telemetry, last hop first *)
+  meta : meta;
+}
+
+let header_bytes = 40
+let mtu = 1500
+let max_payload = mtu - header_bytes
+let ctrl_bytes = 64
+
+let uid_counter = ref 0
+
+let make ?(seq = -1) ?(payload = 0) ?(prio = 0) ?(loop = H)
+    ?(ecn_capable = false) ?(sel_drop = false) ?(meta = No_meta)
+    ~flow ~src ~dst kind =
+  incr uid_counter;
+  let wire = match kind with
+    | Data -> header_bytes + payload
+    | Ack | Grant | Pull | Nack | Ctrl -> ctrl_bytes
+  in
+  { uid = !uid_counter; flow; src; dst; seq; payload; wire; prio; kind;
+    loop; ecn_capable; ecn_ce = false; trimmed = false; sel_drop;
+    int_tel = []; meta }
+
+let is_data p = p.kind = Data
+
+let pp_kind ppf = function
+  | Data -> Fmt.string ppf "data"
+  | Ack -> Fmt.string ppf "ack"
+  | Grant -> Fmt.string ppf "grant"
+  | Pull -> Fmt.string ppf "pull"
+  | Nack -> Fmt.string ppf "nack"
+  | Ctrl -> Fmt.string ppf "ctrl"
+
+let pp ppf p =
+  Fmt.pf ppf "@[<h>%a flow=%d %d->%d seq=%d wire=%dB prio=%d%s%s@]"
+    pp_kind p.kind p.flow p.src p.dst p.seq p.wire p.prio
+    (if p.ecn_ce then " CE" else "")
+    (if p.trimmed then " trimmed" else "")
+
+(* Segmentation helper: number of [max_payload]-sized segments needed to
+   carry [bytes], with a final short segment. *)
+let segments_of_bytes bytes =
+  if bytes <= 0 then 0 else (bytes + max_payload - 1) / max_payload
+
+let segment_payload ~flow_bytes ~seq =
+  let nseg = segments_of_bytes flow_bytes in
+  assert (seq >= 0 && seq < nseg);
+  if seq = nseg - 1 then flow_bytes - (nseg - 1) * max_payload
+  else max_payload

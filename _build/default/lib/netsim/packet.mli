@@ -1,0 +1,64 @@
+(** Packets: the unit of everything the simulator moves.
+
+    Transports attach protocol payloads via the extensible [meta]
+    variant (see [Ppt_transport.Wire]), keeping the network layer
+    protocol-agnostic. *)
+
+open Ppt_engine
+
+type kind = Data | Ack | Grant | Pull | Nack | Ctrl
+
+type loop = H | L
+(** Which control loop the packet belongs to: the high-priority
+    primary loop or a low-priority opportunistic one. *)
+
+type meta = ..
+type meta += No_meta
+
+type int_hop = {
+  hop_qlen : int;
+  hop_tx_bytes : int;
+  hop_ts : Units.time;
+  hop_rate : Units.rate;
+}
+(** One hop's inband-telemetry snapshot (HPCC). *)
+
+type t = {
+  uid : int;
+  flow : int;
+  src : int;
+  dst : int;
+  seq : int;
+  payload : int;
+  mutable wire : int;
+  mutable prio : int;
+  kind : kind;
+  loop : loop;
+  ecn_capable : bool;
+  mutable ecn_ce : bool;
+  mutable trimmed : bool;
+  sel_drop : bool;
+  mutable int_tel : int_hop list;
+  meta : meta;
+}
+
+val header_bytes : int
+val mtu : int
+val max_payload : int
+(** MTU minus header: the segment payload size (1460B). *)
+
+val ctrl_bytes : int
+
+val make :
+  ?seq:int -> ?payload:int -> ?prio:int -> ?loop:loop ->
+  ?ecn_capable:bool -> ?sel_drop:bool -> ?meta:meta ->
+  flow:int -> src:int -> dst:int -> kind -> t
+
+val is_data : t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_kind : Format.formatter -> kind -> unit
+
+val segments_of_bytes : int -> int
+val segment_payload : flow_bytes:int -> seq:int -> int
+(** Payload of segment [seq] of a [flow_bytes]-sized flow; all segments
+    carry [max_payload] except a shorter final one. *)

@@ -1,0 +1,179 @@
+(* Egress queue discipline of a port: 8 FIFO queues dequeued in strict
+   priority order, a shared drop-tail buffer, and instantaneous-queue
+   ECN marking, as configured on commodity switches (§5 of the paper).
+
+   Optional behaviours used by specific baselines:
+   - [trim]: NDP-style payload trimming when the buffer is full —
+     the header survives at the highest priority;
+   - [sel_drop_threshold]: Aeolus-style selective dropping of packets
+     flagged [sel_drop] once occupancy exceeds a small threshold;
+   - [lp_buffer_cap]: cap on the bytes the low-priority band (P4-P7)
+     may occupy (used for the RC3 limited-buffer variant, Fig. 24). *)
+
+type mark_basis = Port_occupancy | Queue_occupancy
+
+type config = {
+  buffer_bytes : int;
+  mark_thresholds : int option array;  (* per priority; None = no marking *)
+  mark_basis : mark_basis;
+  trim : bool;
+  sel_drop_threshold : int option;
+  lp_buffer_cap : int option;
+  dt_alphas : float array option;
+  (* Dynamic-threshold buffer sharing (Choudhury-Hahne), as configured
+     on commodity switches: queue q admits a packet only while
+     qlen(q) <= alpha(q) * (buffer - total occupancy). Lower alphas on
+     the low-priority band squeeze opportunistic traffic out first when
+     the buffer runs hot. *)
+}
+
+let n_prios = 8
+let lp_band_start = 4
+let trim_wire_bytes = 64
+
+let no_marking = Array.make n_prios None
+
+(* Mark every ECN-capable packet once occupancy exceeds [hp] (applied to
+   priorities 0-3) or [lp] (4-7); both thresholds in bytes. *)
+let mark_bands ~hp ~lp =
+  Array.init n_prios (fun p -> if p < lp_band_start then hp else lp)
+
+let default_config ~buffer_bytes = {
+  buffer_bytes;
+  mark_thresholds = no_marking;
+  mark_basis = Port_occupancy;
+  trim = false;
+  sel_drop_threshold = None;
+  lp_buffer_cap = None;
+  dt_alphas = None;
+}
+
+(* The usual switch setup: a permissive share for the high-priority
+   band and a tight one for the low band. *)
+let dt_bands ~hp ~lp =
+  Array.init n_prios (fun p -> if p < lp_band_start then hp else lp)
+
+type t = {
+  cfg : config;
+  queues : Packet.t Queue.t array;
+  qbytes : int array;
+  mutable bytes : int;
+  mutable lp_bytes : int;   (* occupancy of the P4-P7 band *)
+  (* counters *)
+  mutable enq_pkts : int;
+  mutable drop_pkts : int;
+  mutable drop_hp_pkts : int;
+  mutable drop_lp_pkts : int;
+  mutable drop_bytes : int;
+  mutable trim_pkts : int;
+  mutable mark_pkts : int;
+}
+
+type verdict = Enqueued | Dropped | Trimmed
+
+let create cfg =
+  assert (Array.length cfg.mark_thresholds = n_prios);
+  { cfg;
+    queues = Array.init n_prios (fun _ -> Queue.create ());
+    qbytes = Array.make n_prios 0;
+    bytes = 0; lp_bytes = 0;
+    enq_pkts = 0; drop_pkts = 0; drop_hp_pkts = 0; drop_lp_pkts = 0;
+    drop_bytes = 0; trim_pkts = 0; mark_pkts = 0 }
+
+let bytes t = t.bytes
+let lp_bytes t = t.lp_bytes
+let hp_bytes t = t.bytes - t.lp_bytes
+let queue_bytes t prio = t.qbytes.(prio)
+let is_empty t = t.bytes = 0
+
+let drops t = t.drop_pkts
+let drops_hp t = t.drop_hp_pkts
+let drops_lp t = t.drop_lp_pkts
+let drop_bytes t = t.drop_bytes
+let trims t = t.trim_pkts
+let marks t = t.mark_pkts
+let enqueues t = t.enq_pkts
+
+let occupancy_for_marking t (p : Packet.t) =
+  match t.cfg.mark_basis with
+  | Port_occupancy -> t.bytes
+  | Queue_occupancy -> t.qbytes.(p.prio)
+
+let push t (p : Packet.t) =
+  let prio = max 0 (min (n_prios - 1) p.prio) in
+  Queue.push p t.queues.(prio);
+  t.qbytes.(prio) <- t.qbytes.(prio) + p.wire;
+  t.bytes <- t.bytes + p.wire;
+  if prio >= lp_band_start then t.lp_bytes <- t.lp_bytes + p.wire;
+  t.enq_pkts <- t.enq_pkts + 1;
+  (* Instantaneous marking against the occupancy that the packet sees. *)
+  if p.ecn_capable then begin
+    match t.cfg.mark_thresholds.(prio) with
+    | Some k when occupancy_for_marking t p > k ->
+      if not p.ecn_ce then t.mark_pkts <- t.mark_pkts + 1;
+      p.ecn_ce <- true
+    | Some _ | None -> ()
+  end
+
+let drop t (p : Packet.t) =
+  t.drop_pkts <- t.drop_pkts + 1;
+  if p.prio >= lp_band_start then t.drop_lp_pkts <- t.drop_lp_pkts + 1
+  else t.drop_hp_pkts <- t.drop_hp_pkts + 1;
+  t.drop_bytes <- t.drop_bytes + p.wire
+
+let enqueue t (p : Packet.t) =
+  let fits extra = t.bytes + extra <= t.cfg.buffer_bytes in
+  let dt_fits (p : Packet.t) =
+    match t.cfg.dt_alphas with
+    | None -> true
+    | Some _ when p.sel_drop ->
+      (* selectively-droppable (Aeolus) packets are admitted by their
+         own threshold below, not by the dynamic shares *)
+      true
+    | Some alphas ->
+      let prio = max 0 (min (n_prios - 1) p.prio) in
+      let free = float_of_int (t.cfg.buffer_bytes - t.bytes) in
+      float_of_int (t.qbytes.(prio) + p.wire) <= alphas.(prio) *. free
+  in
+  let lp_fits extra =
+    p.prio < lp_band_start
+    || (match t.cfg.lp_buffer_cap with
+        | None -> true
+        | Some cap -> t.lp_bytes + extra <= cap)
+  in
+  let sel_dropped =
+    p.sel_drop
+    && (match t.cfg.sel_drop_threshold with
+        | Some k -> t.bytes + p.wire > k
+        | None -> false)
+  in
+  if sel_dropped then begin drop t p; Dropped end
+  else if fits p.wire && lp_fits p.wire && dt_fits p then begin
+    push t p; Enqueued
+  end
+  else if t.cfg.trim && p.kind = Data && not p.trimmed then begin
+    (* NDP: cut the payload, keep the header, jump to the top queue. *)
+    p.trimmed <- true;
+    p.wire <- trim_wire_bytes;
+    p.prio <- 0;
+    if fits p.wire then begin
+      t.trim_pkts <- t.trim_pkts + 1;
+      push t p;
+      Trimmed
+    end else begin drop t p; Dropped end
+  end
+  else begin drop t p; Dropped end
+
+let dequeue t =
+  let rec find prio =
+    if prio >= n_prios then None
+    else if Queue.is_empty t.queues.(prio) then find (prio + 1)
+    else begin
+      let p = Queue.pop t.queues.(prio) in
+      t.qbytes.(prio) <- t.qbytes.(prio) - p.wire;
+      t.bytes <- t.bytes - p.wire;
+      if prio >= lp_band_start then t.lp_bytes <- t.lp_bytes - p.wire;
+      Some p
+    end
+  in
+  find 0

@@ -1,0 +1,60 @@
+(** Strict-priority egress queue discipline with ECN marking.
+
+    Eight FIFO queues (P0 highest), a shared per-port drop-tail buffer,
+    instantaneous-queue ECN marking per priority, and the optional
+    NDP-trim / Aeolus-selective-drop / low-priority-cap behaviours used
+    by the paper's baselines. *)
+
+type mark_basis =
+  | Port_occupancy   (** mark against total port occupancy (default) *)
+  | Queue_occupancy  (** mark against the packet's own queue *)
+
+type config = {
+  buffer_bytes : int;
+  mark_thresholds : int option array;
+  mark_basis : mark_basis;
+  trim : bool;
+  sel_drop_threshold : int option;
+  lp_buffer_cap : int option;
+  dt_alphas : float array option;
+  (** Dynamic-threshold buffer sharing: queue [q] admits a packet only
+      while [qlen q <= alpha.(q) * (buffer - occupancy)]. *)
+}
+
+val n_prios : int
+val lp_band_start : int
+(** First priority of the low band (P4). *)
+
+val trim_wire_bytes : int
+(** Wire size of an NDP-trimmed header. *)
+
+val no_marking : int option array
+
+val dt_bands : hp:float -> lp:float -> float array
+(** Per-band dynamic-threshold alphas (high band P0-P3, low P4-P7). *)
+
+val mark_bands : hp:int option -> lp:int option -> int option array
+(** Thresholds for the high (P0-P3) and low (P4-P7) bands. *)
+
+val default_config : buffer_bytes:int -> config
+
+type t
+type verdict = Enqueued | Dropped | Trimmed
+
+val create : config -> t
+val enqueue : t -> Packet.t -> verdict
+val dequeue : t -> Packet.t option
+
+val bytes : t -> int
+val lp_bytes : t -> int
+val hp_bytes : t -> int
+val queue_bytes : t -> int -> int
+val is_empty : t -> bool
+
+val drops : t -> int
+val drops_hp : t -> int
+val drops_lp : t -> int
+val drop_bytes : t -> int
+val trims : t -> int
+val marks : t -> int
+val enqueues : t -> int

@@ -1,0 +1,36 @@
+(** Topology builders: the star (testbed / dumbbell) and two-tier
+    leaf-spine fabrics of the paper's evaluation, with ECMP routing. *)
+
+open Ppt_engine
+
+type built = {
+  net : Net.t;
+  hosts : int array;
+  base_rtt : Units.time;
+  (** conservative estimate: propagation plus one MTU serialization per
+      hop, both ways *)
+  edge_rate : Units.rate;
+  to_host_port : int -> int * int;
+  (** last-hop egress port (node, port index) towards a host — the
+      usual bottleneck to sample *)
+  name : string;
+}
+
+val ecmp_hash : int -> int -> int
+(** Deterministic per-flow spine selection: [ecmp_hash flow n]. *)
+
+type routing =
+  | Per_flow                          (** classic ECMP (default) *)
+  | Per_packet                        (** NDP-style packet spraying *)
+  | Flowlet of { gap : Units.time }   (** LetFlow-style re-hashing *)
+
+val star :
+  ?collect_int:bool -> sim:Sim.t -> n_hosts:int -> rate:Units.rate ->
+  delay:Units.time -> qcfg:Prio_queue.config -> unit -> built
+
+val leaf_spine :
+  ?collect_int:bool -> ?routing:routing -> sim:Sim.t ->
+  hosts_per_leaf:int -> n_leaf:int -> n_spine:int ->
+  edge_rate:Units.rate -> core_rate:Units.rate ->
+  edge_delay:Units.time -> core_delay:Units.time ->
+  qcfg:Prio_queue.config -> unit -> built

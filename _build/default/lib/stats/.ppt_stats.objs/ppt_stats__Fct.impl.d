@@ -1,0 +1,1 @@
+lib/stats/fct.ml: Array Fmt List Ppt_engine Units

@@ -1,0 +1,1 @@
+lib/stats/fct.mli: Format Ppt_engine Units

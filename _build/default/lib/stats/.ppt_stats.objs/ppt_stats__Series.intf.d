@@ -1,0 +1,1 @@
+lib/stats/series.mli: Ppt_engine Sim Units

@@ -1,0 +1,1 @@
+lib/transport/context.mli: Fct Flow Net Ppt_engine Ppt_netsim Ppt_stats Rng Sim Topology Units

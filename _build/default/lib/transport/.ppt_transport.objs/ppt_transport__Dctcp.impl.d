@@ -1,0 +1,1 @@
+lib/transport/dctcp.ml: Endpoint Float Flow Ppt_netsim Receiver Reliable

@@ -1,0 +1,1 @@
+lib/transport/dctcp.mli: Endpoint Reliable

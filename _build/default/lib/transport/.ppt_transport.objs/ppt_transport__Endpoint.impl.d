@@ -1,0 +1,1 @@
+lib/transport/endpoint.ml: Context Flow Net Packet Ppt_netsim Receiver Reliable

@@ -1,0 +1,1 @@
+lib/transport/endpoint.mli: Context Flow Receiver Reliable

@@ -1,0 +1,1 @@
+lib/transport/expresspass.ml: Bytes Context Endpoint Flow Hashtbl List Net Packet Ppt_engine Ppt_netsim Sim Units Wire

@@ -1,0 +1,1 @@
+lib/transport/expresspass.mli: Endpoint

@@ -1,0 +1,1 @@
+lib/transport/flow.ml: Fmt Packet Ppt_engine Ppt_netsim Ppt_workload Units

@@ -1,0 +1,1 @@
+lib/transport/flow.mli: Format Ppt_engine Ppt_workload Units

@@ -1,0 +1,1 @@
+lib/transport/halfback.ml: Context Endpoint Flow Packet Ppt_engine Ppt_netsim Receiver Reliable Sim Tcp

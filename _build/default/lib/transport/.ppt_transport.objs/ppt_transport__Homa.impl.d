@@ -1,0 +1,1 @@
+lib/transport/homa.ml: Bytes Context Endpoint Flow Hashtbl List Net Packet Ppt_engine Ppt_netsim Prio_queue Sim Units Wire

@@ -1,0 +1,1 @@
+lib/transport/homa.mli: Endpoint

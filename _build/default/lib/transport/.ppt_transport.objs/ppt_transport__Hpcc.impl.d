@@ -1,0 +1,1 @@
+lib/transport/hpcc.ml: Context Endpoint Float Hashtbl List Packet Ppt_engine Ppt_netsim Receiver Reliable Sim Units

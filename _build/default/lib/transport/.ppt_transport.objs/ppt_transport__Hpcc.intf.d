@@ -1,0 +1,1 @@
+lib/transport/hpcc.mli: Context Endpoint Reliable

@@ -1,0 +1,1 @@
+lib/transport/hypothetical.ml: Context Dctcp Endpoint Flow Hashtbl Packet Ppt_engine Ppt_netsim Printf Receiver Reliable Sim

@@ -1,0 +1,1 @@
+lib/transport/hypothetical.mli: Context Endpoint Hashtbl

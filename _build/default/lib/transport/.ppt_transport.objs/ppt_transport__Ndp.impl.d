@@ -1,0 +1,1 @@
+lib/transport/ndp.ml: Bytes Context Endpoint Flow Hashtbl Net Packet Ppt_engine Ppt_netsim Queue Sim Units Wire

@@ -1,0 +1,1 @@
+lib/transport/pias.ml: Array Dctcp Endpoint Packet Ppt_netsim Prio_queue Receiver Reliable

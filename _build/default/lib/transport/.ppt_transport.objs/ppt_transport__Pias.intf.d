@@ -1,0 +1,1 @@
+lib/transport/pias.mli: Endpoint

@@ -1,0 +1,1 @@
+lib/transport/rc3.ml: Array Context Dctcp Endpoint Flow Packet Ppt_engine Ppt_netsim Prio_queue Receiver Reliable Sim Units

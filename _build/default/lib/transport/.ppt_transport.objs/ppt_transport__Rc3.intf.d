@@ -1,0 +1,1 @@
+lib/transport/rc3.mli: Endpoint

@@ -1,0 +1,1 @@
+lib/transport/receiver.ml: Bytes Context Flow List Net Packet Ppt_netsim Wire

@@ -1,0 +1,1 @@
+lib/transport/receiver.mli: Bytes Context Flow Packet Ppt_netsim

@@ -1,0 +1,1 @@
+lib/transport/reliable.ml: Bytes Context Float Flow List Logs Net Packet Ppt_engine Ppt_netsim Queue Sim Units Wire

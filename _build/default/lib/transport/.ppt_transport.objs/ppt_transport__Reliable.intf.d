@@ -1,0 +1,1 @@
+lib/transport/reliable.mli: Bytes Context Flow Packet Ppt_engine Ppt_netsim Queue Sim Units

@@ -1,0 +1,1 @@
+lib/transport/swift.ml: Context Endpoint Float Packet Ppt_engine Ppt_netsim Receiver Reliable Sim Units

@@ -1,0 +1,1 @@
+lib/transport/swift.mli: Context Endpoint Ppt_engine Reliable Units

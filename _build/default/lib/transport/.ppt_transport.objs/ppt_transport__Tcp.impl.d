@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Endpoint Float Packet Ppt_netsim Receiver Reliable

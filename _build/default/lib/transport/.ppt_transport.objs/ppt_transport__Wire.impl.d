@@ -1,0 +1,1 @@
+lib/transport/wire.ml: Packet Ppt_engine Ppt_netsim Units

@@ -1,0 +1,52 @@
+(* Per-run environment shared by all transports: the simulator, the
+   fabric, derived path constants, the FCT sink, and per-host datapath
+   operation counters (the Fig. 19 CPU-overhead proxy). *)
+
+open Ppt_engine
+open Ppt_netsim
+open Ppt_stats
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  base_rtt : Units.time;
+  edge_rate : Units.rate;
+  bdp : int;                        (* bytes, of the edge path *)
+  rto_min : Units.time;
+  fct : Fct.t;
+  rng : Rng.t;
+  ops : int array;                  (* per-node datapath operations *)
+  mutable started : int;
+  mutable completed : int;
+  mutable on_complete : int -> unit;  (* flow id *)
+}
+
+let create ~sim ~net ~base_rtt ~edge_rate ~rto_min ~rng () =
+  { sim; net; base_rtt; edge_rate;
+    bdp = Units.bdp ~rate:edge_rate ~rtt:base_rtt;
+    rto_min; fct = Fct.create (); rng;
+    ops = Array.make (Net.n_nodes net) 0;
+    started = 0; completed = 0; on_complete = ignore }
+
+let of_topology ?(rto_min = Units.ms 10) ~rng (topo : Topology.built) =
+  create ~sim:(Net.sim topo.net) ~net:topo.net ~base_rtt:topo.base_rtt
+    ~edge_rate:topo.edge_rate ~rto_min ~rng ()
+
+let now t = Sim.now t.sim
+
+let count_op t host = t.ops.(host) <- t.ops.(host) + 1
+
+let flow_finished t (flow : Flow.t) =
+  match flow.finished with
+  | Some _ -> ()    (* already recorded *)
+  | None ->
+    let finish = now t in
+    flow.finished <- Some finish;
+    Fct.add t.fct
+      { Fct.flow = flow.id; size = flow.size; start = flow.start;
+        finish; retrans = flow.retrans; hcp_payload = flow.hcp_payload;
+        lcp_payload = flow.lcp_payload;
+        hcp_delivered = flow.hcp_delivered;
+        lcp_delivered = flow.lcp_delivered };
+    t.completed <- t.completed + 1;
+    t.on_complete flow.id

@@ -1,0 +1,26 @@
+(** DCTCP congestion control [5]: alpha-weighted ECN reaction on the
+    shared reliable sender. The paper's HCP and primary baseline. *)
+
+type view = {
+  alpha : unit -> float;
+  (** the running ECN-fraction estimate (Eq. 1) *)
+  wmax : unit -> float;
+  (** largest congestion-avoidance window seen (W_max of Eq. 2) *)
+  in_ca : unit -> bool;
+  (** past the startup (slow-start) phase *)
+  rtt_hook : (unit -> unit) -> unit;
+  (** register a callback fired once per observation window *)
+}
+
+val default_g : float
+(** The EWMA gain (1/16). *)
+
+val attach : ?g:float -> Reliable.t -> view
+(** Install DCTCP on a sender and expose its run-time state — the
+    dctcp_get_info analogue PPT's LCP consumes (§5.1). *)
+
+val make :
+  ?iw_segs:int -> ?on_flow_wmax:(int -> float -> unit) -> unit ->
+  Endpoint.factory
+(** Plain DCTCP as a complete transport. [on_flow_wmax] receives each
+    flow's W_max at teardown (used by the hypothetical DCTCP). *)

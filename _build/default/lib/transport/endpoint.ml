@@ -1,0 +1,42 @@
+(* Glue between flows and the fabric.
+
+   A [transport] knows how to launch one flow: create sender/receiver
+   endpoint state, register packet handlers at both hosts, and tear
+   everything down when the receiver has the whole message. Experiment
+   runners only ever see this record. *)
+
+open Ppt_netsim
+
+type transport = {
+  t_name : string;
+  t_start : Flow.t -> unit;   (* invoked at the flow's start time *)
+}
+
+type factory = Context.t -> transport
+
+(* Standard wiring for window-based (sender-driven) transports.
+
+   [setup] attaches congestion control (and, for PPT, the LCP loop) to
+   the freshly created sender; it returns an extra teardown thunk for
+   any timers it created. *)
+let launch_window_flow ctx ~params ~rcv_cfg ~setup flow =
+  let snd = Reliable.create ctx flow params in
+  let rcv = Receiver.create ctx flow rcv_cfg in
+  let teardown_extra = setup snd rcv in
+  let net = ctx.Context.net in
+  Net.register net ~host:flow.Flow.src ~flow:flow.Flow.id (fun p ->
+      match p.Packet.kind with
+      | Packet.Ack -> Reliable.on_ack snd p
+      | Packet.Data | Packet.Grant | Packet.Pull | Packet.Nack
+      | Packet.Ctrl -> ());
+  Net.register net ~host:flow.Flow.dst ~flow:flow.Flow.id (fun p ->
+      match p.Packet.kind with
+      | Packet.Data -> Receiver.on_data rcv p
+      | Packet.Ack | Packet.Grant | Packet.Pull | Packet.Nack
+      | Packet.Ctrl -> ());
+  rcv.Receiver.on_done <- (fun () ->
+      Reliable.shutdown snd;
+      teardown_extra ();
+      Net.unregister net ~host:flow.Flow.src ~flow:flow.Flow.id;
+      Net.unregister net ~host:flow.Flow.dst ~flow:flow.Flow.id);
+  Reliable.start snd

@@ -1,0 +1,20 @@
+(** Glue between flows and the fabric: the interface every transport
+    implements, plus the standard wiring for window-based senders. *)
+
+type transport = {
+  t_name : string;
+  t_start : Flow.t -> unit;  (** invoked at the flow's start time *)
+}
+
+type factory = Context.t -> transport
+
+val launch_window_flow :
+  Context.t ->
+  params:Reliable.params ->
+  rcv_cfg:Receiver.config ->
+  setup:(Reliable.t -> Receiver.t -> unit -> unit) ->
+  Flow.t -> unit
+(** Create sender and receiver state, register both packet handlers,
+    run [setup] (which attaches congestion control and returns an extra
+    teardown thunk), start transmitting, and tear everything down when
+    the receiver holds the whole message. *)

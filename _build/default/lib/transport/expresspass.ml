@@ -1,0 +1,208 @@
+(* ExpressPass [11]: credit-scheduled, delay-bounded transport.
+
+   The receiver controls everything: data may only be sent against a
+   credit, and credits are paced at the receiver's line rate, shared
+   round-robin over the active inbound flows. The sender holds its
+   packets until credits arrive — the "passive, 1st RTT wasted"
+   behaviour Table 1 notes — announcing itself with one credit
+   request at flow start.
+
+   Credits carry the receiver's cumulative progress so the sender can
+   repair holes (credit-driven retransmission), with an RTO backstop
+   for lost control packets. *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type sender = {
+  ctx : Context.t;
+  flow : Flow.t;
+  mutable snd_nxt : int;
+  mutable cum : int;
+  mutable rto_timer : Sim.timer option;
+  mutable shut : bool;
+}
+
+let send_data s seq ~retransmission =
+  let pay = Flow.seg_payload s.flow seq in
+  let meta =
+    Wire.Data_meta { tx = Sim.now s.ctx.Context.sim; first_rtt = false }
+  in
+  let pkt =
+    Packet.make ~seq ~payload:pay ~prio:1 ~meta ~flow:s.flow.Flow.id
+      ~src:s.flow.Flow.src ~dst:s.flow.Flow.dst Packet.Data
+  in
+  Context.count_op s.ctx s.flow.Flow.src;
+  s.flow.Flow.hcp_payload <- s.flow.Flow.hcp_payload + pay;
+  if retransmission then s.flow.Flow.retrans <- s.flow.Flow.retrans + 1;
+  Net.send s.ctx.Context.net pkt
+
+(* One credit = permission for one packet: new data first, then the
+   receiver's first hole once fresh data is exhausted. *)
+let sender_on_credit s ~credit_cum =
+  if not s.shut then begin
+    s.cum <- max s.cum credit_cum;
+    if s.snd_nxt < s.flow.Flow.nseg then begin
+      send_data s s.snd_nxt ~retransmission:false;
+      s.snd_nxt <- s.snd_nxt + 1
+    end else if s.cum < s.flow.Flow.nseg then
+      send_data s s.cum ~retransmission:true
+  end
+
+let rec arm_sender_rto s =
+  if not s.shut then
+    s.rto_timer <-
+      Some (Sim.schedule s.ctx.Context.sim ~after:s.ctx.Context.rto_min
+              (fun () ->
+                 s.rto_timer <- None;
+                 if not s.shut then begin
+                   if s.snd_nxt = 0 then begin
+                     (* the credit request must have been lost *)
+                     let request =
+                       Packet.make ~prio:0 ~flow:s.flow.Flow.id
+                         ~src:s.flow.Flow.src ~dst:s.flow.Flow.dst
+                         Packet.Ctrl
+                     in
+                     Net.send s.ctx.Context.net request
+                   end else if s.cum < s.snd_nxt then
+                     send_data s s.cum ~retransmission:true;
+                   arm_sender_rto s
+                 end))
+
+let sender_shutdown s =
+  s.shut <- true;
+  match s.rto_timer with
+  | Some tm -> Sim.cancel tm; s.rto_timer <- None
+  | None -> ()
+
+(* ---- receiver-side credit pacer (per host) ---- *)
+
+type msg = {
+  m_flow : Flow.t;
+  m_bitmap : Bytes.t;
+  mutable m_received : int;
+  mutable m_cum : int;
+  mutable m_credits_sent : int;
+  mutable m_done : bool;
+  mutable on_msg_done : unit -> unit;
+}
+
+type host_state = {
+  hs_ctx : Context.t;
+  mutable active : msg list;      (* round-robin credit targets *)
+  mutable pacing : bool;
+}
+
+let send_credit hs (m : msg) =
+  let meta = Wire.Pull_meta { p_cum = m.m_cum } in
+  let pkt =
+    Packet.make ~prio:0 ~meta ~flow:m.m_flow.Flow.id
+      ~src:m.m_flow.Flow.dst ~dst:m.m_flow.Flow.src Packet.Pull
+  in
+  m.m_credits_sent <- m.m_credits_sent + 1;
+  Net.send hs.hs_ctx.Context.net pkt
+
+(* Bounded outstanding credits: a message may have at most a window of
+   unanswered credits. Data arrivals (including RTO retransmissions,
+   which are not credit-gated) unlock further credits, so a burst of
+   credit or data loss can never wedge the flow permanently. *)
+let credit_window = 64
+
+let wants_credit (m : msg) =
+  (not m.m_done) && m.m_credits_sent < m.m_received + credit_window
+
+let rec pace hs () =
+  match List.filter wants_credit hs.active with
+  | [] -> hs.pacing <- false
+  | eligible ->
+    (* rotate: credit the head, move it to the back *)
+    let m = List.hd eligible in
+    send_credit hs m;
+    hs.active <-
+      List.filter (fun x -> x != m) hs.active @ [ m ];
+    let slot =
+      Units.tx_time ~rate:hs.hs_ctx.Context.edge_rate ~bytes:Packet.mtu
+    in
+    ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:slot (pace hs))
+
+let kick hs =
+  if not hs.pacing then begin
+    hs.pacing <- true;
+    ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:0 (pace hs))
+  end
+
+let receiver_on_data hs (m : msg) (p : Packet.t) =
+  Context.count_op hs.hs_ctx m.m_flow.Flow.dst;
+  if (not m.m_done) && not p.trimmed then begin
+    let seq = p.seq in
+    if seq >= 0 && seq < m.m_flow.Flow.nseg
+    && Bytes.get m.m_bitmap seq = '\000' then begin
+      Bytes.set m.m_bitmap seq '\001';
+      m.m_received <- m.m_received + 1;
+      while m.m_cum < m.m_flow.Flow.nseg
+            && Bytes.get m.m_bitmap m.m_cum = '\001' do
+        m.m_cum <- m.m_cum + 1
+      done
+    end;
+    if m.m_received = m.m_flow.Flow.nseg then begin
+      m.m_done <- true;
+      hs.active <- List.filter (fun x -> x != m) hs.active;
+      Context.flow_finished hs.hs_ctx m.m_flow;
+      m.on_msg_done ()
+    end else
+      (* the arrival may have re-opened the credit window *)
+      kick hs
+  end
+
+let make () ctx =
+  let hosts : (int, host_state) Hashtbl.t = Hashtbl.create 64 in
+  let host_state host =
+    match Hashtbl.find_opt hosts host with
+    | Some hs -> hs
+    | None ->
+      let hs = { hs_ctx = ctx; active = []; pacing = false } in
+      Hashtbl.add hosts host hs;
+      hs
+  in
+  { Endpoint.t_name = "expresspass";
+    t_start = (fun flow ->
+        let s =
+          { ctx; flow; snd_nxt = 0; cum = 0; rto_timer = None;
+            shut = false }
+        in
+        let hs = host_state flow.Flow.dst in
+        let m =
+          { m_flow = flow; m_bitmap = Bytes.make flow.Flow.nseg '\000';
+            m_received = 0; m_cum = 0; m_credits_sent = 0;
+            m_done = false; on_msg_done = ignore }
+        in
+        let net = ctx.Context.net in
+        m.on_msg_done <- (fun () ->
+            sender_shutdown s;
+            Net.unregister net ~host:flow.Flow.src ~flow:flow.Flow.id;
+            Net.unregister net ~host:flow.Flow.dst ~flow:flow.Flow.id);
+        Net.register net ~host:flow.Flow.src ~flow:flow.Flow.id (fun p ->
+            match p.Packet.kind with
+            | Packet.Pull ->
+              (match p.Packet.meta with
+               | Wire.Pull_meta { p_cum } ->
+                 sender_on_credit s ~credit_cum:p_cum
+               | _ -> ())
+            | _ -> ());
+        Net.register net ~host:flow.Flow.dst ~flow:flow.Flow.id (fun p ->
+            match p.Packet.kind with
+            | Packet.Data -> receiver_on_data hs m p
+            | Packet.Ctrl ->
+              (* credit request: the flow becomes credit-eligible *)
+              if not (List.memq m hs.active) && not m.m_done then begin
+                hs.active <- hs.active @ [ m ];
+                kick hs
+              end
+            | _ -> ());
+        (* announce the flow; data waits for credits (1st RTT unused) *)
+        let request =
+          Packet.make ~prio:0 ~flow:flow.Flow.id ~src:flow.Flow.src
+            ~dst:flow.Flow.dst Packet.Ctrl
+        in
+        Net.send net request;
+        arm_sender_rto s) }

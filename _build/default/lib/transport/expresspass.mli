@@ -1,0 +1,5 @@
+(** ExpressPass [11]: credit-scheduled transport — data moves only
+    against receiver-paced credits, so the first RTT carries nothing
+    but the credit request. *)
+
+val make : unit -> Endpoint.factory

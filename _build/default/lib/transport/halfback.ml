@@ -1,0 +1,60 @@
+(* Halfback [23]: "running short flows quickly and safely".
+
+   Two mechanisms on top of loss-based TCP:
+   - *pacing out*: flows below a size threshold (141KB in the paper)
+     transmit their entire message in the first RTT at line rate,
+     skipping slow start entirely;
+   - *replay*: immediately after the initial burst, the tail of the
+     flow is proactively re-transmitted in reverse order, so that a
+     tail drop — the case that otherwise needs an RTO — is repaired
+     without any feedback.
+
+   Larger flows fall back to plain TCP-10 behaviour. *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type params = {
+  burst_threshold : int;   (* pace-out size limit (141KB) *)
+  replay_segs : int;       (* how much tail to replay *)
+  iw_segs : int;           (* initial window for large flows *)
+}
+
+let default_params =
+  { burst_threshold = 141_000; replay_segs = 8; iw_segs = 10 }
+
+let make ?(params = default_params) () ctx =
+  let mss = Packet.max_payload in
+  { Endpoint.t_name = "halfback";
+    t_start = (fun flow ->
+        let small = flow.Flow.size <= params.burst_threshold in
+        let initial_cwnd =
+          if small then max flow.Flow.size (params.iw_segs * mss)
+          else params.iw_segs * mss
+        in
+        let rel_params =
+          Reliable.default_params ~initial_cwnd ~ecn_capable:false ()
+        in
+        Endpoint.launch_window_flow ctx ~params:rel_params
+          ~rcv_cfg:Receiver.default_config
+          ~setup:(fun snd _rcv ->
+              Tcp.attach snd;
+              if small then begin
+                (* replay: duplicate the tail right after the burst;
+                   the receiver discards duplicates, and a dropped
+                   tail segment arrives without waiting for an RTO *)
+                let replay () =
+                  let nseg = flow.Flow.nseg in
+                  let lo = max 0 (nseg - params.replay_segs) in
+                  for seq = nseg - 1 downto lo do
+                    if Reliable.seg_state snd seq
+                       <> Reliable.st_sacked then
+                      Reliable.send_lcp_segment ~prio:0 snd seq
+                  done
+                in
+                ignore
+                  (Sim.schedule ctx.Context.sim
+                     ~after:(ctx.Context.base_rtt / 2) replay)
+              end;
+              fun () -> ())
+          flow) }

@@ -1,0 +1,14 @@
+(** Homa [32] (receiver-driven grants, SRPT, overcommitment) and its
+    Aeolus [17] variant (lowest-priority selectively-dropped
+    unscheduled packets with fast recovery). *)
+
+type params = {
+  rtt_bytes : int option;  (** None: one BDP *)
+  overcommit : int;
+  aeolus : bool;
+}
+
+val default_params : params
+
+val make : ?params:params -> unit -> Endpoint.factory
+val make_aeolus : ?params:params -> unit -> Endpoint.factory

@@ -1,0 +1,125 @@
+(* HPCC: High Precision Congestion Control [25].
+
+   Switches stamp inband telemetry (queue length, cumulative
+   transmitted bytes, timestamp, line rate) on every data packet; the
+   receiver echoes it in ACKs. The sender estimates each hop's
+   utilization
+
+     u_j = qlen_j / (B_j * T)  +  txRate_j / B_j
+
+   takes U = max_j u_j, and sets the window multiplicatively against
+   the target utilization eta with an additive term for fairness:
+
+     W = W_ref / (U / eta) + W_ai
+
+   W_ref is refreshed from W once per RTT. Requires the fabric to run
+   with INT collection enabled ([Net.create ~collect_int:true]). *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type params = {
+  iw_segs : int;
+  eta : float;
+  wai_segs : float;      (* additive increase in segments *)
+  max_stages : int;      (* per-ack updates between W_ref refreshes *)
+}
+
+let default_params =
+  { iw_segs = 10; eta = 0.95; wai_segs = 0.5; max_stages = 5 }
+
+type hop_memory = {
+  mutable prev_tx_bytes : int;
+  mutable prev_ts : Units.time;
+  mutable valid : bool;
+}
+
+let attach ?(params = default_params) ctx (s : Reliable.t) =
+  let mssf = float_of_int (Reliable.mss s) in
+  let wai = params.wai_segs *. mssf in
+  let t_ns = float_of_int ctx.Context.base_rtt in
+  let hops : (int, hop_memory) Hashtbl.t = Hashtbl.create 8 in
+  let w_ref = ref (Reliable.cwnd s) in
+  let last_ref_update = ref 0 in
+  let hop_mem i =
+    match Hashtbl.find_opt hops i with
+    | Some m -> m
+    | None ->
+      let m = { prev_tx_bytes = 0; prev_ts = 0; valid = false } in
+      Hashtbl.add hops i m;
+      m
+  in
+  (* Returns [None] until the hop has two telemetry samples: without a
+     previous (tx_bytes, ts) pair the rate term is unknown and a naive
+     U ~ 0 would explode the window on the very first ACK. *)
+  let hop_utilization i (h : Packet.int_hop) =
+    let m = hop_mem i in
+    let rate_bits = float_of_int h.Packet.hop_rate in
+    let qterm =
+      (* qlen / (B * T): queueing bytes against one BDP of the hop *)
+      float_of_int (h.Packet.hop_qlen * 8)
+      /. (rate_bits *. (t_ns /. 1e9))
+    in
+    let txterm =
+      if m.valid && h.Packet.hop_ts > m.prev_ts then begin
+        let dbytes = h.Packet.hop_tx_bytes - m.prev_tx_bytes in
+        let dt_s =
+          float_of_int (h.Packet.hop_ts - m.prev_ts) /. 1e9
+        in
+        Some (float_of_int (dbytes * 8) /. dt_s /. rate_bits)
+      end else None
+    in
+    let had_sample = m.valid in
+    m.prev_tx_bytes <- h.Packet.hop_tx_bytes;
+    m.prev_ts <- h.Packet.hop_ts;
+    m.valid <- true;
+    match txterm with
+    | Some tx -> Some (qterm +. tx)
+    | None -> if had_sample then Some qterm else None
+  in
+  s.Reliable.hook_on_ack <- (fun s ai ->
+      match ai.Reliable.ai_int_tel with
+      | [] -> ()
+      | tel ->
+        let _, u =
+          List.fold_left
+            (fun (i, acc) h ->
+               match acc, hop_utilization i h with
+               | Some acc, Some u -> (i + 1, Some (Float.max acc u))
+               | _, _ -> (i + 1, None))
+            (0, Some 0.) tel
+        in
+        match u with
+        | None -> ()   (* warm-up: telemetry not yet rate-capable *)
+        | Some u ->
+          let u = Float.max u 0.05 in
+          let w = (!w_ref /. (u /. params.eta)) +. wai in
+          (* bound the per-update ramp, as HPCC's maxStage does *)
+          let w = Float.min w (2. *. !w_ref) in
+          Reliable.set_cwnd s w;
+          let now = Sim.now ctx.Context.sim in
+          if now - !last_ref_update > ctx.Context.base_rtt then begin
+            w_ref := Reliable.cwnd s;
+            last_ref_update := now
+          end);
+  s.Reliable.hook_on_loss <- (fun s ->
+      Reliable.set_cwnd s (Reliable.cwnd s /. 2.);
+      w_ref := Reliable.cwnd s);
+  s.Reliable.hook_on_timeout <- (fun s ->
+      Reliable.set_cwnd s mssf;
+      w_ref := Reliable.cwnd s)
+
+let make ?(params = default_params) () ctx =
+  let mss = Packet.max_payload in
+  { Endpoint.t_name = "hpcc";
+    t_start = (fun flow ->
+        let rel_params =
+          Reliable.default_params ~initial_cwnd:(params.iw_segs * mss)
+            ~ecn_capable:false ()
+        in
+        Endpoint.launch_window_flow ctx ~params:rel_params
+          ~rcv_cfg:Receiver.default_config
+          ~setup:(fun snd _rcv ->
+              attach ~params ctx snd;
+              fun () -> ())
+          flow) }

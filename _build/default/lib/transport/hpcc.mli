@@ -1,0 +1,14 @@
+(** HPCC [25]: high-precision congestion control from inband
+    telemetry. Requires the fabric to run with INT collection. *)
+
+type params = {
+  iw_segs : int;
+  eta : float;          (** target utilization (0.95) *)
+  wai_segs : float;     (** additive increase per update *)
+  max_stages : int;
+}
+
+val default_params : params
+
+val attach : ?params:params -> Context.t -> Reliable.t -> unit
+val make : ?params:params -> unit -> Endpoint.factory

@@ -1,0 +1,85 @@
+(* The *hypothetical* DCTCP of §2.3 (Figs. 2, 3, 20).
+
+   Built in two passes: a plain DCTCP run records every flow's maximum
+   window (MW); a second run over the identical trace sends, each RTT,
+   just enough opportunistic tail packets to fill the congestion
+   window's gap up to [fill_fraction] x MW. The paper uses it to argue
+   that filling to exactly 1.0 x MW is the right amount — less wastes
+   capacity, more causes bursts and losses (Fig. 3).
+
+   Opportunistic packets travel in-band (same priority as normal data:
+   the hypothetical transport has no scheduling component). *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type mw_table = (int, float) Hashtbl.t
+
+let record_pass () : mw_table * (Context.t -> Endpoint.transport) =
+  let table : mw_table = Hashtbl.create 1024 in
+  let factory =
+    Dctcp.make ~on_flow_wmax:(fun id mw -> Hashtbl.replace table id mw) ()
+  in
+  (table, factory)
+
+let make ?(fill_fraction = 1.0) ~mw_table () ctx =
+  let mss = Packet.max_payload in
+  { Endpoint.t_name =
+      Printf.sprintf "hypo-dctcp-%.2fxMW" fill_fraction;
+    t_start = (fun flow ->
+        let rel_params =
+          Reliable.default_params ~initial_cwnd:(10 * mss)
+            ~ecn_capable:true ~lcp_ecn_capable:false ()
+        in
+        let mw =
+          match Hashtbl.find_opt mw_table flow.Flow.id with
+          | Some mw -> mw
+          | None -> float_of_int ctx.Context.bdp
+        in
+        let target = fill_fraction *. mw in
+        Endpoint.launch_window_flow ctx ~params:rel_params
+          ~rcv_cfg:Receiver.default_config
+          ~setup:(fun snd _rcv ->
+              let view = Dctcp.attach snd in
+              let tail_ptr = ref flow.Flow.nseg in
+              let epoch = ref 0 in
+              let shut = ref false in
+              (* the gap is paced out over the round trip ("just enough
+                 packets in each RTT"), not blasted as a burst *)
+              let rec drip ~my_epoch ~window ~remaining () =
+                if (not !shut) && my_epoch = !epoch && remaining >= mss
+                then begin
+                  match Reliable.lcp_pick_tail snd ~below:!tail_ptr with
+                  | None -> ()
+                  | Some seq ->
+                    tail_ptr := seq;
+                    Reliable.send_lcp_segment ~prio:0 snd seq;
+                    let pay = Flow.seg_payload flow seq in
+                    let interval =
+                      float_of_int ctx.Context.base_rtt
+                      *. float_of_int pay /. float_of_int window
+                    in
+                    ignore
+                      (Sim.schedule ctx.Context.sim
+                         ~after:(max 1 (int_of_float interval))
+                         (drip ~my_epoch ~window
+                            ~remaining:(remaining - pay)))
+                end
+              in
+              let fill () =
+                (* just enough: the window gap, minus opportunistic
+                   data still in flight from earlier rounds *)
+                let outstanding = Reliable.l_inflight_segs snd * mss in
+                let gap =
+                  int_of_float (target -. Reliable.cwnd snd)
+                  - outstanding
+                in
+                if gap >= mss then begin
+                  incr epoch;
+                  drip ~my_epoch:!epoch ~window:gap ~remaining:gap ()
+                end
+              in
+              ignore (Sim.schedule ctx.Context.sim ~after:0 fill);
+              view.Dctcp.rtt_hook fill;
+              fun () -> shut := true)
+          flow) }

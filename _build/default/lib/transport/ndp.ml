@@ -1,0 +1,227 @@
+(* NDP [15]: receiver-driven transport with packet trimming.
+
+   Senders blast a full initial window (one BDP) at line rate. When a
+   switch queue overflows, the queue discipline trims the payload and
+   forwards the header at top priority ([Prio_queue.config.trim] must
+   be on for NDP runs). The receiver:
+   - NACKs every trimmed header so the sender queues the segment for
+     retransmission;
+   - clocks the remainder of the transfer with PULL packets paced at
+     its link rate, shared round-robin across all inbound flows.
+
+   A pull carries the receiver's cumulative progress so the sender can
+   fall back to timeout retransmission if control packets die. *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type params = {
+  iw_bytes : int option;   (* None: one BDP *)
+  data_prio : int;
+}
+
+let default_params = { iw_bytes = None; data_prio = 1 }
+
+(* ---- sender -------------------------------------------------------- *)
+
+type sender = {
+  ctx : Context.t;
+  flow : Flow.t;
+  data_prio : int;
+  mutable snd_nxt : int;
+  retx : int Queue.t;
+  mutable cum : int;
+  mutable rto_timer : Sim.timer option;
+  mutable shut : bool;
+}
+
+let send_data s seq ~retransmission =
+  let pay = Flow.seg_payload s.flow seq in
+  let meta =
+    Wire.Data_meta { tx = Sim.now s.ctx.Context.sim; first_rtt = false }
+  in
+  let pkt =
+    Packet.make ~seq ~payload:pay ~prio:s.data_prio ~meta
+      ~flow:s.flow.Flow.id ~src:s.flow.Flow.src ~dst:s.flow.Flow.dst
+      Packet.Data
+  in
+  Context.count_op s.ctx s.flow.Flow.src;
+  s.flow.Flow.hcp_payload <- s.flow.Flow.hcp_payload + pay;
+  if retransmission then
+    s.flow.Flow.retrans <- s.flow.Flow.retrans + 1;
+  Net.send s.ctx.Context.net pkt
+
+(* One pull = one packet's worth of credit. *)
+let sender_on_pull s =
+  if not s.shut then begin
+    match Queue.take_opt s.retx with
+    | Some seq -> send_data s seq ~retransmission:true
+    | None ->
+      if s.snd_nxt < s.flow.Flow.nseg then begin
+        send_data s s.snd_nxt ~retransmission:false;
+        s.snd_nxt <- s.snd_nxt + 1
+      end
+  end
+
+let rec arm_sender_rto s =
+  if not s.shut then
+    s.rto_timer <-
+      Some (Sim.schedule s.ctx.Context.sim ~after:s.ctx.Context.rto_min
+              (fun () -> sender_rto s))
+
+and sender_rto s =
+  s.rto_timer <- None;
+  if not s.shut then begin
+    (* resend the first segment the receiver is missing *)
+    if s.cum < s.flow.Flow.nseg && s.cum < s.snd_nxt then
+      send_data s s.cum ~retransmission:true;
+    arm_sender_rto s
+  end
+
+let sender_shutdown s =
+  s.shut <- true;
+  match s.rto_timer with
+  | Some tm -> Sim.cancel tm; s.rto_timer <- None
+  | None -> ()
+
+(* ---- receiver: per-host pull pacer --------------------------------- *)
+
+type msg = {
+  m_flow : Flow.t;
+  m_bitmap : Bytes.t;
+  mutable m_received : int;
+  mutable m_cum : int;
+  mutable m_done : bool;
+  mutable on_msg_done : unit -> unit;
+}
+
+type host_state = {
+  hs_ctx : Context.t;
+  pulls : msg Queue.t;        (* round-robin pull tokens *)
+  mutable pacing : bool;
+}
+
+let send_pull hs (m : msg) =
+  let meta = Wire.Pull_meta { p_cum = m.m_cum } in
+  let pkt =
+    Packet.make ~prio:0 ~meta ~flow:m.m_flow.Flow.id
+      ~src:m.m_flow.Flow.dst ~dst:m.m_flow.Flow.src Packet.Pull
+  in
+  Net.send hs.hs_ctx.Context.net pkt
+
+(* Emit one pull per MTU serialization slot of the receiver's edge
+   link; this clocks aggregate inbound traffic at line rate. *)
+let rec pace hs () =
+  match Queue.take_opt hs.pulls with
+  | None -> hs.pacing <- false
+  | Some m ->
+    if m.m_done then pace hs ()
+    else begin
+      send_pull hs m;
+      let slot =
+        Units.tx_time ~rate:hs.hs_ctx.Context.edge_rate ~bytes:Packet.mtu
+      in
+      ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:slot (pace hs))
+    end
+
+let enqueue_pull hs (m : msg) =
+  if not m.m_done then begin
+    Queue.push m hs.pulls;
+    if not hs.pacing then begin
+      hs.pacing <- true;
+      ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:0 (pace hs))
+    end
+  end
+
+let send_nack hs (m : msg) seq =
+  let meta = Wire.Nack_meta { nack_seq = seq } in
+  let pkt =
+    Packet.make ~prio:0 ~meta ~flow:m.m_flow.Flow.id
+      ~src:m.m_flow.Flow.dst ~dst:m.m_flow.Flow.src Packet.Nack
+  in
+  Net.send hs.hs_ctx.Context.net pkt
+
+let receiver_on_data hs (m : msg) (p : Packet.t) =
+  Context.count_op hs.hs_ctx m.m_flow.Flow.dst;
+  if m.m_done then ()
+  else if p.trimmed then begin
+    (* header survived: fast loss notification + keep the clock going *)
+    send_nack hs m p.seq;
+    enqueue_pull hs m
+  end else begin
+    let seq = p.seq in
+    if seq >= 0 && seq < m.m_flow.Flow.nseg
+    && Bytes.get m.m_bitmap seq = '\000' then begin
+      Bytes.set m.m_bitmap seq '\001';
+      m.m_received <- m.m_received + 1;
+      while m.m_cum < m.m_flow.Flow.nseg
+            && Bytes.get m.m_bitmap m.m_cum = '\001' do
+        m.m_cum <- m.m_cum + 1
+      done
+    end;
+    if m.m_received = m.m_flow.Flow.nseg then begin
+      m.m_done <- true;
+      Context.flow_finished hs.hs_ctx m.m_flow;
+      m.on_msg_done ()
+    end else
+      enqueue_pull hs m
+  end
+
+(* ---- wiring -------------------------------------------------------- *)
+
+let make ?(params = default_params) () ctx =
+  let mss = Packet.max_payload in
+  let iw_bytes =
+    match params.iw_bytes with Some b -> b | None -> ctx.Context.bdp
+  in
+  let iw_segs = max 1 (iw_bytes / mss) in
+  let hosts : (int, host_state) Hashtbl.t = Hashtbl.create 64 in
+  let host_state host =
+    match Hashtbl.find_opt hosts host with
+    | Some hs -> hs
+    | None ->
+      let hs = { hs_ctx = ctx; pulls = Queue.create (); pacing = false } in
+      Hashtbl.add hosts host hs;
+      hs
+  in
+  { Endpoint.t_name = "ndp";
+    t_start = (fun flow ->
+        let s =
+          { ctx; flow; data_prio = params.data_prio; snd_nxt = 0;
+            retx = Queue.create (); cum = 0; rto_timer = None;
+            shut = false }
+        in
+        let hs = host_state flow.Flow.dst in
+        let m =
+          { m_flow = flow; m_bitmap = Bytes.make flow.Flow.nseg '\000';
+            m_received = 0; m_cum = 0; m_done = false;
+            on_msg_done = ignore }
+        in
+        let net = ctx.Context.net in
+        m.on_msg_done <- (fun () ->
+            sender_shutdown s;
+            Net.unregister net ~host:flow.Flow.src ~flow:flow.Flow.id;
+            Net.unregister net ~host:flow.Flow.dst ~flow:flow.Flow.id);
+        Net.register net ~host:flow.Flow.src ~flow:flow.Flow.id (fun p ->
+            match p.Packet.kind with
+            | Packet.Pull ->
+              (match p.Packet.meta with
+               | Wire.Pull_meta { p_cum } -> s.cum <- max s.cum p_cum
+               | _ -> ());
+              sender_on_pull s
+            | Packet.Nack ->
+              (match p.Packet.meta with
+               | Wire.Nack_meta { nack_seq } -> Queue.push nack_seq s.retx
+               | _ -> ())
+            | _ -> ());
+        Net.register net ~host:flow.Flow.dst ~flow:flow.Flow.id (fun p ->
+            match p.Packet.kind with
+            | Packet.Data -> receiver_on_data hs m p
+            | _ -> ());
+        (* first window at line rate *)
+        let burst = min iw_segs flow.Flow.nseg in
+        for seq = 0 to burst - 1 do
+          send_data s seq ~retransmission:false
+        done;
+        s.snd_nxt <- burst;
+        arm_sender_rto s) }

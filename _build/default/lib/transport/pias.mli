@@ -1,0 +1,13 @@
+(** PIAS [9]: DCTCP rate control with multi-level-feedback priority
+    demotion by bytes sent (no a-priori size information). *)
+
+type params = {
+  iw_segs : int;
+  demotion : int array;  (** ascending bytes-sent level boundaries *)
+}
+
+val default_params : params
+
+val prio_of : params -> bytes_sent:int -> int
+
+val make : ?params:params -> unit -> Endpoint.factory

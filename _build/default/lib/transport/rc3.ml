@@ -1,0 +1,97 @@
+(* RC3: Recursively Cautious Congestion Control [30].
+
+   The primary loop is a normal TCP-style loop (DCTCP here, as in the
+   paper's evaluation setup, §6.1) sending from the head of the flow.
+   In parallel, at flow start, RC3 immediately transmits *all* the
+   remaining data from the tail at low in-network priorities: the last
+   ~40 packets at the first low priority, the next 40^2 at the second,
+   the next 40^3 at the third, everything else at the lowest. The low
+   loops are open-loop: no pacing window, no ECN reaction, no attempt
+   to protect the primary loop — exactly the behaviour PPT's §3
+   "Remarks" contrasts against. Transmission stops when the low loop
+   crosses paths with the primary loop.
+
+   Low-priority packets leave at NIC line rate. The recommended 2GB
+   send buffer makes essentially the whole flow eligible. *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type params = {
+  iw_segs : int;
+  sendbuf_bytes : int;
+  level_counts : int array;  (* packets per low priority level, from tail *)
+}
+
+let default_params =
+  { iw_segs = 10;
+    sendbuf_bytes = Units.mb 2000;       (* the recommended 2GB *)
+    level_counts = [| 40; 1600; 64000 |] }
+
+(* Priority of the [n]-th low-priority packet counted from the tail. *)
+let lp_prio params n =
+  let rec level i acc =
+    if i >= Array.length params.level_counts then
+      Array.length params.level_counts
+    else if n < acc + params.level_counts.(i) then i
+    else level (i + 1) (acc + params.level_counts.(i))
+  in
+  Prio_queue.lp_band_start + level 0 0
+
+type lcp_state = {
+  snd : Reliable.t;
+  params : params;
+  ctx : Context.t;
+  mutable tail_ptr : int;
+  mutable sent_count : int;
+  mutable timer : Sim.timer option;
+  mutable stopped : bool;
+}
+
+let stop_lcp st =
+  st.stopped <- true;
+  match st.timer with
+  | Some tm -> Sim.cancel tm; st.timer <- None
+  | None -> ()
+
+(* Blast the tail at line rate: one low-priority segment per NIC
+   serialization slot until the loops cross or the buffer is empty. *)
+let rec lcp_pump st () =
+  st.timer <- None;
+  if not st.stopped then
+    match Reliable.lcp_pick_tail st.snd ~below:st.tail_ptr with
+    | None -> ()   (* crossed with the primary loop: RC3's stop rule *)
+    | Some seq ->
+      st.tail_ptr <- seq;
+      let prio = lp_prio st.params st.sent_count in
+      st.sent_count <- st.sent_count + 1;
+      Reliable.send_lcp_segment ~prio st.snd seq;
+      let pay = Flow.seg_payload (Reliable.flow st.snd) seq in
+      let slot =
+        Units.tx_time ~rate:st.ctx.Context.edge_rate
+          ~bytes:(pay + Packet.header_bytes)
+      in
+      st.timer <-
+        Some (Sim.schedule st.ctx.Context.sim ~after:slot (lcp_pump st))
+
+let make ?(params = default_params) () ctx =
+  let mss = Packet.max_payload in
+  { Endpoint.t_name = "rc3";
+    t_start = (fun flow ->
+        let rel_params =
+          Reliable.default_params ~initial_cwnd:(params.iw_segs * mss)
+            ~ecn_capable:true ~lcp_ecn_capable:false
+            ~sendbuf_bytes:params.sendbuf_bytes ()
+        in
+        Endpoint.launch_window_flow ctx ~params:rel_params
+          ~rcv_cfg:Receiver.default_config
+          ~setup:(fun snd _rcv ->
+              ignore (Dctcp.attach snd);
+              let st =
+                { snd; params; ctx; tail_ptr = flow.Flow.nseg;
+                  sent_count = 0; timer = None; stopped = false }
+              in
+              (* the low loops start together with the primary loop *)
+              ignore (Sim.schedule ctx.Context.sim ~after:0 (lcp_pump st));
+              fun () -> stop_lcp st)
+          flow) }

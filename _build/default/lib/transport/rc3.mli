@@ -1,0 +1,16 @@
+(** RC3 [30]: a DCTCP primary loop plus open-loop low-priority
+    transmission of the whole remaining flow from the tail, in
+    exponentially growing priority tiers. *)
+
+type params = {
+  iw_segs : int;
+  sendbuf_bytes : int;       (** the recommended 2GB by default *)
+  level_counts : int array;  (** packets per low-priority level *)
+}
+
+val default_params : params
+
+val lp_prio : params -> int -> int
+(** Priority of the [n]-th low-priority packet counted from the tail. *)
+
+val make : ?params:params -> unit -> Endpoint.factory

@@ -1,0 +1,126 @@
+(* Generic receiver endpoint for window-based transports (DCTCP, PIAS,
+   Swift, HPCC, RC3 and PPT's HCP/LCP loops).
+
+   It tracks which segments have arrived, acknowledges every data
+   packet (cumulative ACK + the specific segment as a SACK, echoing the
+   CE bit, the sender timestamp and any inband telemetry), and fires a
+   completion callback when the whole flow has been received.
+
+   Low-priority-loop (LCP) data is acknowledged separately: one
+   low-priority ACK per [lcp_batch] opportunistic packets. With
+   [lcp_batch = 2] this implements PPT's exponential window decrease —
+   the sender's opportunistic rate naturally halves every RTT (§3.2). *)
+
+open Ppt_netsim
+
+type config = {
+  ack_prio : int;                       (* priority of primary-loop acks *)
+  lcp_batch : int;                      (* LCP data packets per LCP ack *)
+  lcp_ack_prio : [ `Echo | `Fixed of int ];
+}
+
+let default_config = { ack_prio = 0; lcp_batch = 1; lcp_ack_prio = `Echo }
+
+type t = {
+  ctx : Context.t;
+  flow : Flow.t;
+  cfg : config;
+  bitmap : Bytes.t;
+  mutable received : int;
+  mutable cum : int;                    (* in-order segments from 0 *)
+  mutable lcp_pending : int;            (* LCP data since last LCP ack *)
+  mutable lcp_sacks : int list;
+  mutable lcp_ece : bool;
+  mutable lcp_last_prio : int;
+  mutable done_fired : bool;
+  mutable on_done : unit -> unit;
+}
+
+let create ctx flow cfg =
+  { ctx; flow; cfg;
+    bitmap = Bytes.make flow.Flow.nseg '\000';
+    received = 0; cum = 0;
+    lcp_pending = 0; lcp_sacks = []; lcp_ece = false; lcp_last_prio = 7;
+    done_fired = false; on_done = ignore }
+
+let complete t = t.received = t.flow.Flow.nseg
+let received t = t.received
+let cum t = t.cum
+
+let mark t seq =
+  if seq < 0 || seq >= t.flow.Flow.nseg then false
+  else if Bytes.get t.bitmap seq = '\001' then false
+  else begin
+    Bytes.set t.bitmap seq '\001';
+    t.received <- t.received + 1;
+    while t.cum < t.flow.Flow.nseg && Bytes.get t.bitmap t.cum = '\001' do
+      t.cum <- t.cum + 1
+    done;
+    true
+  end
+
+let send_ack t ~sacks ~ece ~data_tx ~int_tel ~loop ~prio =
+  let meta =
+    Wire.Ack_meta { cum = t.cum; sacks; ece; data_tx; int_tel }
+  in
+  let pkt =
+    Packet.make ~prio ~loop ~meta ~flow:t.flow.Flow.id
+      ~src:t.flow.Flow.dst ~dst:t.flow.Flow.src Packet.Ack
+  in
+  Net.send t.ctx.Context.net pkt
+
+let fire_done t =
+  if (not t.done_fired) && complete t then begin
+    t.done_fired <- true;
+    Context.flow_finished t.ctx t.flow;
+    t.on_done ()
+  end
+
+let flush_lcp t =
+  if t.lcp_pending > 0 then begin
+    let prio =
+      match t.cfg.lcp_ack_prio with
+      | `Echo -> t.lcp_last_prio
+      | `Fixed p -> p
+    in
+    send_ack t ~sacks:t.lcp_sacks ~ece:t.lcp_ece ~data_tx:0 ~int_tel:[]
+      ~loop:Packet.L ~prio;
+    t.lcp_pending <- 0;
+    t.lcp_sacks <- [];
+    t.lcp_ece <- false
+  end
+
+(* Trimmed data carries no payload: it only tells receiver-driven
+   transports that the segment was cut. Window-based receivers ignore
+   it here (their loss recovery is SACK/RTO based). *)
+let on_data t (p : Packet.t) =
+  Context.count_op t.ctx t.flow.Flow.dst;
+  if not p.trimmed then begin
+    let newly = mark t p.seq in
+    if newly then begin
+      match p.loop with
+      | Packet.H ->
+        t.flow.Flow.hcp_delivered <- t.flow.Flow.hcp_delivered + p.payload
+      | Packet.L ->
+        t.flow.Flow.lcp_delivered <- t.flow.Flow.lcp_delivered + p.payload
+    end;
+    match p.loop with
+    | Packet.H ->
+      let data_tx =
+        match Wire.data_tx_time p with Some tx -> tx | None -> 0
+      in
+      send_ack t ~sacks:[ p.seq ] ~ece:p.ecn_ce ~data_tx
+        ~int_tel:(List.rev p.int_tel) ~loop:Packet.H
+        ~prio:t.cfg.ack_prio;
+      fire_done t
+    | Packet.L ->
+      t.lcp_pending <- t.lcp_pending + 1;
+      t.lcp_sacks <- p.seq :: t.lcp_sacks;
+      t.lcp_ece <- t.lcp_ece || p.ecn_ce;
+      t.lcp_last_prio <- p.prio;
+      if t.lcp_pending >= t.cfg.lcp_batch then flush_lcp t;
+      (* Completion must not wait for a batch partner that will never
+         arrive: if this LCP packet finished the flow, ack and finish
+         immediately. *)
+      if complete t then begin flush_lcp t; fire_done t end
+  end

@@ -1,0 +1,421 @@
+(* Window-based reliable sender core.
+
+   Implements everything a TCP-style datacenter sender shares:
+   sequence/SACK bookkeeping, cumulative-ACK advance, duplicate-ACK
+   fast retransmit with NewReno-style recovery, retransmission
+   timeouts with exponential backoff, a send-buffer availability
+   window, and the congestion-window gate. The congestion-control
+   *policy* is injected through hook closures so DCTCP, Swift, HPCC,
+   PIAS and PPT's HCP all reuse this machinery.
+
+   PPT specifics supported here (§5):
+   - a second, low-priority loop may transmit tail segments through
+     [send_lcp_segment]; such segments do not consume primary-loop
+     window and are tracked so the primary loop never double-counts
+     them in flight;
+   - a low-priority ACK updates the SACK scoreboard and advances
+     [snd_nxt] past data the LCP already delivered in order (the
+     "crossed paths" tweak of §5.2), then is handed to [hook_on_lcp_ack]
+     for the EWD logic. *)
+
+open Ppt_engine
+open Ppt_netsim
+
+let log_src =
+  Logs.Src.create "ppt.reliable" ~doc:"window-based reliable sender"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type ack_info = {
+  ai_cum : int;
+  ai_sacks : int list;
+  ai_ece : bool;
+  ai_data_tx : Units.time;
+  ai_int_tel : Packet.int_hop list;
+  ai_newly_acked : int;    (* payload bytes newly confirmed (primary) *)
+  ai_cum_advanced : bool;
+}
+
+(* Per-segment states. *)
+let st_unsent = '\000'
+let st_h_inflight = '\001'   (* sent by the primary loop, unacked *)
+let st_sacked = '\002'       (* confirmed received *)
+let st_lost = '\003'         (* deemed lost, queued for retransmit *)
+let st_l_inflight = '\004'   (* sent by a low-priority loop, unacked *)
+
+type params = {
+  initial_cwnd : int;                   (* bytes *)
+  ecn_capable : bool;
+  lcp_ecn_capable : bool;               (* ECN on low-priority-loop data *)
+  cwnd_cap : float;                     (* bytes *)
+  sendbuf_bytes : int;                  (* send-buffer capacity *)
+  tagger : bytes_sent:int -> loop:Packet.loop -> int;
+}
+
+let default_params ?(initial_cwnd = 10 * Packet.max_payload)
+    ?(ecn_capable = true) ?(lcp_ecn_capable = true) ?(cwnd_cap = infinity)
+    ?(sendbuf_bytes = max_int) ?(tagger = fun ~bytes_sent:_ ~loop:_ -> 0)
+    () =
+  { initial_cwnd; ecn_capable; lcp_ecn_capable; cwnd_cap; sendbuf_bytes;
+    tagger }
+
+type t = {
+  ctx : Context.t;
+  flow : Flow.t;
+  p : params;
+  mss : int;
+  seg : Bytes.t;
+  mutable cwnd : float;
+  mutable snd_nxt : int;
+  mutable cum_ack : int;
+  mutable sacked_cnt : int;
+  mutable inflight : int;              (* primary-loop bytes in flight *)
+  mutable l_inflight_segs : int;       (* low-priority segments unacked *)
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recovery_end : int;
+  retx : int Queue.t;
+  mutable rto_backoff : int;
+  mutable rto_timer : Sim.timer option;
+  (* per-RTT observation window (DCTCP-style) *)
+  mutable win_end : int;
+  mutable win_acked : int;
+  mutable win_marked : int;
+  mutable bytes_sent : int;            (* payload bytes, both loops *)
+  mutable shut : bool;
+  (* congestion-control and PPT hooks *)
+  mutable hook_on_ack : t -> ack_info -> unit;
+  mutable hook_on_window : t -> f:float -> unit;
+  mutable hook_on_loss : t -> unit;
+  mutable hook_on_timeout : t -> unit;
+  mutable hook_on_lcp_ack : t -> ack_info -> unit;
+  mutable hook_more_data : t -> unit;
+}
+
+let default_on_loss t =
+  t.cwnd <- Float.max (float_of_int t.mss) (t.cwnd /. 2.)
+
+let default_on_timeout t = t.cwnd <- float_of_int t.mss
+
+let create ctx flow p =
+  { ctx; flow; p; mss = Packet.max_payload;
+    seg = Bytes.make flow.Flow.nseg st_unsent;
+    cwnd = float_of_int p.initial_cwnd;
+    snd_nxt = 0; cum_ack = 0; sacked_cnt = 0; inflight = 0;
+    l_inflight_segs = 0;
+    dup_acks = 0; in_recovery = false; recovery_end = 0;
+    retx = Queue.create (); rto_backoff = 1; rto_timer = None;
+    win_end = 0; win_acked = 0; win_marked = 0; bytes_sent = 0;
+    shut = false;
+    hook_on_ack = (fun _ _ -> ());
+    hook_on_window = (fun _ ~f:_ -> ());
+    hook_on_loss = default_on_loss;
+    hook_on_timeout = default_on_timeout;
+    hook_on_lcp_ack = (fun _ _ -> ());
+    hook_more_data = (fun _ -> ()) }
+
+let cwnd t = t.cwnd
+let set_cwnd t w =
+  t.cwnd <- Float.min t.p.cwnd_cap (Float.max (float_of_int t.mss) w)
+let mss t = t.mss
+let snd_nxt t = t.snd_nxt
+let cum_ack t = t.cum_ack
+let inflight t = t.inflight
+let l_inflight_segs t = t.l_inflight_segs
+let bytes_sent t = t.bytes_sent
+let flow t = t.flow
+let ctx t = t.ctx
+let all_sacked t = t.sacked_cnt = t.flow.Flow.nseg
+
+let seg_state t seq = Bytes.get t.seg seq
+
+(* Highest segment index currently present in the send buffer: bytes
+   below [cum_ack] have been freed, so the application has copied in up
+   to [cum_ack * mss + capacity] bytes. *)
+let avail_hi t =
+  if t.p.sendbuf_bytes = max_int then t.flow.Flow.nseg - 1
+  else begin
+    let bufseg = max 1 (t.p.sendbuf_bytes / t.mss) in
+    min (t.flow.Flow.nseg - 1) (t.cum_ack + bufseg - 1)
+  end
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some timer -> Sim.cancel timer; t.rto_timer <- None
+  | None -> ()
+
+let shutdown t =
+  t.shut <- true;
+  cancel_rto t
+
+let rto_interval t =
+  t.ctx.Context.rto_min * t.rto_backoff
+
+(* --- transmission ------------------------------------------------- *)
+
+let emit t ~loop ~prio_override ~seq =
+  let pay = Flow.seg_payload t.flow seq in
+  let prio =
+    match prio_override with
+    | Some p -> p
+    | None -> t.p.tagger ~bytes_sent:t.bytes_sent ~loop
+  in
+  let meta = Wire.Data_meta { tx = Sim.now t.ctx.Context.sim;
+                              first_rtt = false } in
+  let ecn_capable =
+    match loop with
+    | Packet.H -> t.p.ecn_capable
+    | Packet.L -> t.p.lcp_ecn_capable
+  in
+  let pkt =
+    Packet.make ~seq ~payload:pay ~prio ~loop ~ecn_capable ~meta
+      ~flow:t.flow.Flow.id ~src:t.flow.Flow.src ~dst:t.flow.Flow.dst
+      Packet.Data
+  in
+  Context.count_op t.ctx t.flow.Flow.src;
+  t.bytes_sent <- t.bytes_sent + pay;
+  Net.send t.ctx.Context.net pkt;
+  pay
+
+let rec arm_rto t =
+  if (match t.rto_timer with None -> true | Some _ -> false)
+     && t.inflight > 0 && not t.shut then
+    t.rto_timer <-
+      Some (Sim.schedule t.ctx.Context.sim ~after:(rto_interval t)
+              (fun () -> on_rto t))
+
+and reset_rto t =
+  cancel_rto t;
+  t.rto_backoff <- 1;
+  arm_rto t
+
+and on_rto t =
+  t.rto_timer <- None;
+  if not (t.shut || all_sacked t) then begin
+    Log.debug (fun m ->
+        m "flow %d: RTO at %a (backoff x%d, cum=%d/%d)" t.flow.Flow.id
+          Units.pp_time (Sim.now t.ctx.Context.sim) t.rto_backoff
+          t.cum_ack t.flow.Flow.nseg);
+    Context.count_op t.ctx t.flow.Flow.src;
+    (* every in-flight primary segment is presumed lost *)
+    for seq = 0 to t.flow.Flow.nseg - 1 do
+      if Bytes.get t.seg seq = st_h_inflight then begin
+        Bytes.set t.seg seq st_lost;
+        Queue.push seq t.retx
+      end
+    done;
+    t.inflight <- 0;
+    t.dup_acks <- 0;
+    t.in_recovery <- false;
+    t.hook_on_timeout t;
+    t.rto_backoff <- min 64 (t.rto_backoff * 2);
+    try_send t;
+    arm_rto t
+  end
+
+and send_segment t ~loop ?prio_override seq =
+  let st = Bytes.get t.seg seq in
+  assert (st <> st_sacked);
+  let retransmission = st = st_lost in
+  begin match loop with
+    | Packet.H ->
+      if st <> st_h_inflight then begin
+        let pay = Flow.seg_payload t.flow seq in
+        t.inflight <- t.inflight + pay
+      end;
+      if st = st_l_inflight then
+        t.l_inflight_segs <- max 0 (t.l_inflight_segs - 1);
+      Bytes.set t.seg seq st_h_inflight
+    | Packet.L ->
+      if st = st_unsent then begin
+        Bytes.set t.seg seq st_l_inflight;
+        t.l_inflight_segs <- t.l_inflight_segs + 1
+      end
+  end;
+  let pay = emit t ~loop ~prio_override ~seq in
+  begin match loop with
+    | Packet.H ->
+      t.flow.Flow.hcp_payload <- t.flow.Flow.hcp_payload + pay
+    | Packet.L ->
+      t.flow.Flow.lcp_payload <- t.flow.Flow.lcp_payload + pay
+  end;
+  if retransmission then t.flow.Flow.retrans <- t.flow.Flow.retrans + 1;
+  arm_rto t
+
+(* Next primary-loop segment: queued retransmissions first, then new
+   data up to the send-buffer horizon, skipping delivered segments. *)
+and next_seg t =
+  let rec from_retx () =
+    match Queue.peek_opt t.retx with
+    | Some seq when Bytes.get t.seg seq = st_lost -> Some (`Retx seq)
+    | Some _ -> ignore (Queue.pop t.retx); from_retx ()
+    | None -> None
+  in
+  match from_retx () with
+  | Some _ as r -> r
+  | None ->
+    let hi = avail_hi t in
+    let rec adv () =
+      if t.snd_nxt > hi then None
+      else if Bytes.get t.seg t.snd_nxt = st_sacked then begin
+        t.snd_nxt <- t.snd_nxt + 1; adv ()
+      end else Some (`New t.snd_nxt)
+    in
+    adv ()
+
+and try_send t =
+  if not (t.shut || all_sacked t) then
+    match next_seg t with
+    | None -> ()
+    | Some candidate ->
+      let seq = match candidate with `Retx s | `New s -> s in
+      if float_of_int t.inflight < t.cwnd then begin
+        begin match candidate with
+          | `Retx s -> ignore (Queue.pop t.retx); assert (s = seq)
+          | `New s -> t.snd_nxt <- max t.snd_nxt (s + 1)
+        end;
+        send_segment t ~loop:Packet.H ?prio_override:None seq;
+        if t.win_end = 0 then t.win_end <- t.snd_nxt;
+        try_send t
+      end
+
+let start t =
+  if not t.shut then begin
+    try_send t;
+    t.win_end <- max t.win_end t.snd_nxt
+  end
+
+(* --- low-priority (opportunistic) transmission --------------------- *)
+
+(* Highest not-yet-transmitted segment at or below the send-buffer
+   horizon, scanning down from [from_seq] (exclusive upper bound given
+   by the caller's own pointer). *)
+let lcp_pick_tail t ~below =
+  let hi = min (avail_hi t) (below - 1) in
+  let rec scan seq =
+    if seq < t.snd_nxt then None
+    else if Bytes.get t.seg seq = st_unsent then Some seq
+    else scan (seq - 1)
+  in
+  if hi < 0 then None else scan hi
+
+let send_lcp_segment ?prio t seq =
+  if not (t.shut || Bytes.get t.seg seq = st_sacked) then
+    send_segment t ~loop:Packet.L ?prio_override:prio seq
+
+(* --- acknowledgement processing ------------------------------------ *)
+
+let mark_sacked t seq =
+  if seq < 0 || seq >= t.flow.Flow.nseg then 0
+  else begin
+    let st = Bytes.get t.seg seq in
+    if st = st_sacked then 0
+    else begin
+      let pay = Flow.seg_payload t.flow seq in
+      Bytes.set t.seg seq st_sacked;
+      t.sacked_cnt <- t.sacked_cnt + 1;
+      if st = st_h_inflight then begin
+        t.inflight <- max 0 (t.inflight - pay);
+        pay
+      end else begin
+        (* delivered by the low-priority loop (or while presumed lost):
+           it never gates the primary window, so it does not feed
+           primary-loop congestion accounting *)
+        if st = st_l_inflight then
+          t.l_inflight_segs <- max 0 (t.l_inflight_segs - 1);
+        0
+      end
+    end
+  end
+
+let advance_cum t cum =
+  let advanced = cum > t.cum_ack in
+  if advanced then begin
+    (* anything below the new cumulative point is delivered *)
+    for seq = t.cum_ack to cum - 1 do ignore (mark_sacked t seq) done;
+    t.cum_ack <- cum;
+    (* §5.2: the LCP loop may deliver in-order data past snd_nxt; let
+       TCP continue as usual by advancing the head of the send queue. *)
+    if t.cum_ack > t.snd_nxt then t.snd_nxt <- t.cum_ack;
+    t.hook_more_data t
+  end;
+  advanced
+
+let enter_recovery t =
+  Log.debug (fun m ->
+      m "flow %d: fast-retransmit recovery at seg %d" t.flow.Flow.id
+        t.cum_ack);
+  t.in_recovery <- true;
+  t.recovery_end <- t.snd_nxt;
+  t.hook_on_loss t;
+  (* retransmit the hole at the cumulative point *)
+  if t.cum_ack < t.flow.Flow.nseg
+  && Bytes.get t.seg t.cum_ack = st_h_inflight then begin
+    let pay = Flow.seg_payload t.flow t.cum_ack in
+    Bytes.set t.seg t.cum_ack st_lost;
+    t.inflight <- max 0 (t.inflight - pay);
+    Queue.push t.cum_ack t.retx
+  end
+
+let parse_ack (p : Packet.t) =
+  match p.meta with
+  | Wire.Ack_meta { cum; sacks; ece; data_tx; int_tel } ->
+    Some (cum, sacks, ece, data_tx, int_tel)
+  | _ -> None
+
+let on_ack t (p : Packet.t) =
+  if not t.shut then
+    match parse_ack p with
+    | None -> ()
+    | Some (cum, sacks, ece, data_tx, int_tel) ->
+      Context.count_op t.ctx t.flow.Flow.src;
+      let newly =
+        List.fold_left (fun acc s -> acc + mark_sacked t s) 0 sacks
+      in
+      let advanced = advance_cum t cum in
+      let ai =
+        { ai_cum = cum; ai_sacks = sacks; ai_ece = ece;
+          ai_data_tx = data_tx; ai_int_tel = int_tel;
+          ai_newly_acked = newly; ai_cum_advanced = advanced }
+      in
+      (match p.loop with
+       | Packet.L ->
+         (* EWD and loop bookkeeping live in the PPT core. *)
+         t.hook_on_lcp_ack t ai;
+         try_send t
+       | Packet.H ->
+         if advanced then begin
+           t.dup_acks <- 0;
+           reset_rto t;
+           if t.in_recovery then begin
+             if t.cum_ack >= t.recovery_end then t.in_recovery <- false
+             else if t.cum_ack < t.flow.Flow.nseg
+                  && Bytes.get t.seg t.cum_ack = st_h_inflight then begin
+               (* partial ack: the next hole is also lost *)
+               let pay = Flow.seg_payload t.flow t.cum_ack in
+               Bytes.set t.seg t.cum_ack st_lost;
+               t.inflight <- max 0 (t.inflight - pay);
+               Queue.push t.cum_ack t.retx
+             end
+           end
+         end else if newly > 0 && cum = t.cum_ack
+                  && t.cum_ack < t.flow.Flow.nseg then begin
+           (* out-of-order delivery above a hole *)
+           t.dup_acks <- t.dup_acks + 1;
+           if t.dup_acks = 3 && not t.in_recovery then enter_recovery t
+         end;
+         (* DCTCP-style per-window observation *)
+         t.win_acked <- t.win_acked + newly;
+         if ece then t.win_marked <- t.win_marked + newly;
+         t.hook_on_ack t ai;
+         if t.cum_ack >= t.win_end && t.win_acked > 0 then begin
+           let f =
+             float_of_int t.win_marked /. float_of_int t.win_acked
+           in
+           t.hook_on_window t ~f;
+           t.win_end <- max t.snd_nxt (t.cum_ack + 1);
+           t.win_acked <- 0;
+           t.win_marked <- 0
+         end;
+         try_send t);
+      if all_sacked t then cancel_rto t

@@ -1,0 +1,116 @@
+(** Window-based reliable sender core.
+
+    Sequence/SACK bookkeeping, duplicate-ACK fast retransmit with
+    NewReno-style recovery, retransmission timeouts with backoff, a
+    send-buffer availability window and the congestion-window gate.
+    Congestion-control *policy* is injected through the mutable hook
+    fields, so DCTCP, TCP, Swift, HPCC and PPT's HCP share this
+    machinery; a second low-priority loop (PPT's LCP, RC3's low loops)
+    transmits tail segments through {!send_lcp_segment}. *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type ack_info = {
+  ai_cum : int;                     (** in-order segments confirmed *)
+  ai_sacks : int list;
+  ai_ece : bool;                    (** congestion-experienced echo *)
+  ai_data_tx : Units.time;          (** echoed data-packet send time *)
+  ai_int_tel : Packet.int_hop list; (** echoed inband telemetry *)
+  ai_newly_acked : int;             (** fresh primary-loop bytes *)
+  ai_cum_advanced : bool;
+}
+
+(** Per-segment states (as stored in the scoreboard). *)
+
+val st_unsent : char
+val st_h_inflight : char
+val st_sacked : char
+val st_lost : char
+val st_l_inflight : char
+
+type params = {
+  initial_cwnd : int;
+  ecn_capable : bool;
+  lcp_ecn_capable : bool;
+  cwnd_cap : float;
+  sendbuf_bytes : int;
+  tagger : bytes_sent:int -> loop:Packet.loop -> int;
+}
+
+val default_params :
+  ?initial_cwnd:int -> ?ecn_capable:bool -> ?lcp_ecn_capable:bool ->
+  ?cwnd_cap:float -> ?sendbuf_bytes:int ->
+  ?tagger:(bytes_sent:int -> loop:Packet.loop -> int) -> unit -> params
+(** IW 10 segments, ECN on, unlimited send buffer, priority 0. *)
+
+type t = {
+  ctx : Context.t;
+  flow : Flow.t;
+  p : params;
+  mss : int;
+  seg : Bytes.t;
+  mutable cwnd : float;
+  mutable snd_nxt : int;
+  mutable cum_ack : int;
+  mutable sacked_cnt : int;
+  mutable inflight : int;
+  mutable l_inflight_segs : int;
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recovery_end : int;
+  retx : int Queue.t;
+  mutable rto_backoff : int;
+  mutable rto_timer : Sim.timer option;
+  mutable win_end : int;
+  mutable win_acked : int;
+  mutable win_marked : int;
+  mutable bytes_sent : int;
+  mutable shut : bool;
+  mutable hook_on_ack : t -> ack_info -> unit;
+  (** per-ACK congestion-control hook (growth, delay/INT reaction) *)
+  mutable hook_on_window : t -> f:float -> unit;
+  (** once per observation window, with the marked-byte fraction *)
+  mutable hook_on_loss : t -> unit;
+  (** entering fast-retransmit recovery *)
+  mutable hook_on_timeout : t -> unit;
+  mutable hook_on_lcp_ack : t -> ack_info -> unit;
+  (** a low-priority ACK arrived (after scoreboard bookkeeping) *)
+  mutable hook_more_data : t -> unit;
+  (** the send-buffer horizon advanced *)
+}
+
+val create : Context.t -> Flow.t -> params -> t
+val start : t -> unit
+
+val cwnd : t -> float
+val set_cwnd : t -> float -> unit
+(** Clamped to [mss, cwnd_cap]. *)
+
+val mss : t -> int
+val snd_nxt : t -> int
+val cum_ack : t -> int
+val inflight : t -> int
+val l_inflight_segs : t -> int
+(** Low-priority-loop segments transmitted and not yet acknowledged. *)
+
+val bytes_sent : t -> int
+val flow : t -> Flow.t
+val ctx : t -> Context.t
+val all_sacked : t -> bool
+val seg_state : t -> int -> char
+val avail_hi : t -> int
+(** Highest segment currently in the send buffer. *)
+
+val on_ack : t -> Packet.t -> unit
+val try_send : t -> unit
+
+val lcp_pick_tail : t -> below:int -> int option
+(** Highest untransmitted segment strictly below [below], scanning down
+    to [snd_nxt] (None once the loops cross). *)
+
+val send_lcp_segment : ?prio:int -> t -> int -> unit
+(** Transmit one segment on the low-priority loop. *)
+
+val shutdown : t -> unit
+(** Stop all transmission and cancel timers. *)

@@ -1,0 +1,85 @@
+(* Delay-based congestion control, conceptually equivalent to
+   Swift [21] (§6.2 "working with delay-based transport").
+
+   The sender measures the fabric RTT from a timestamp echoed in every
+   ACK. Below the target delay the window grows additively; above it,
+   the window shrinks multiplicatively in proportion to the excess,
+   at most once per RTT and bounded by [max_mdf]. As in the paper's
+   ns-3 variant, only fabric delay is modelled (no host queues). *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type params = {
+  iw_segs : int;
+  target_factor : float;  (* target delay = factor * base RTT *)
+  ai_segs : float;        (* additive increase per RTT, in segments *)
+  beta : float;           (* multiplicative decrease gain *)
+  max_mdf : float;        (* largest decrease in one RTT *)
+}
+
+let default_params =
+  { iw_segs = 10; target_factor = 1.5; ai_segs = 1.0; beta = 0.8;
+    max_mdf = 0.5 }
+
+(* View exposed to the PPT-over-Swift variant. *)
+type view = {
+  delay_below_target : unit -> bool;
+  target : Units.time;
+  rtt_hook : (unit -> unit) -> unit;
+}
+
+let attach ?(params = default_params) ctx (s : Reliable.t) =
+  let target =
+    int_of_float (params.target_factor *. float_of_int
+                    ctx.Context.base_rtt)
+  in
+  let mssf = float_of_int (Reliable.mss s) in
+  let last_decrease = ref 0 in
+  let last_delay = ref 0 in
+  let on_rtt = ref (fun () -> ()) in
+  s.Reliable.hook_on_ack <- (fun s ai ->
+      if ai.Reliable.ai_newly_acked > 0 && ai.Reliable.ai_data_tx > 0 then begin
+        let now = Sim.now ctx.Context.sim in
+        let delay = now - ai.Reliable.ai_data_tx in
+        last_delay := delay;
+        let cwnd = Reliable.cwnd s in
+        if delay < target then begin
+          (* additive increase, spread over the acks of one window *)
+          let newly = float_of_int ai.Reliable.ai_newly_acked in
+          Reliable.set_cwnd s
+            (cwnd +. (params.ai_segs *. mssf *. newly /. cwnd))
+        end else if now - !last_decrease > ctx.Context.base_rtt then begin
+          last_decrease := now;
+          let excess =
+            float_of_int (delay - target) /. float_of_int delay
+          in
+          let factor =
+            Float.max (1. -. (params.beta *. excess))
+              (1. -. params.max_mdf)
+          in
+          Reliable.set_cwnd s (cwnd *. factor)
+        end
+      end);
+  s.Reliable.hook_on_loss <- (fun s ->
+      Reliable.set_cwnd s (Reliable.cwnd s /. 2.));
+  s.Reliable.hook_on_timeout <- (fun s -> Reliable.set_cwnd s mssf);
+  s.Reliable.hook_on_window <- (fun _ ~f:_ -> !on_rtt ());
+  { delay_below_target = (fun () -> !last_delay < target);
+    target;
+    rtt_hook = (fun f -> on_rtt := f) }
+
+let make ?(params = default_params) () ctx =
+  let mss = Packet.max_payload in
+  { Endpoint.t_name = "swift";
+    t_start = (fun flow ->
+        let rel_params =
+          Reliable.default_params ~initial_cwnd:(params.iw_segs * mss)
+            ~ecn_capable:false ()
+        in
+        Endpoint.launch_window_flow ctx ~params:rel_params
+          ~rcv_cfg:Receiver.default_config
+          ~setup:(fun snd _rcv ->
+              ignore (attach ~params ctx snd);
+              fun () -> ())
+          flow) }

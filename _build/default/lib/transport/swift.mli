@@ -1,0 +1,23 @@
+(** Delay-based congestion control, conceptually equivalent to
+    Swift [21] (fabric delay only, as in the paper's Fig. 14 variant). *)
+
+open Ppt_engine
+
+type params = {
+  iw_segs : int;
+  target_factor : float;   (** target delay as a multiple of base RTT *)
+  ai_segs : float;
+  beta : float;
+  max_mdf : float;
+}
+
+val default_params : params
+
+type view = {
+  delay_below_target : unit -> bool;
+  target : Units.time;
+  rtt_hook : (unit -> unit) -> unit;
+}
+
+val attach : ?params:params -> Context.t -> Reliable.t -> view
+val make : ?params:params -> unit -> Endpoint.factory

@@ -1,0 +1,36 @@
+(* Protocol payloads carried inside packets, shared by every transport
+   so receivers and senders agree on a single ACK format. *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type Packet.meta +=
+  | Data_meta of {
+      tx : Units.time;          (* when the data packet left the sender *)
+      first_rtt : bool;         (* sent in the flow's first RTT (Aeolus) *)
+    }
+  | Ack_meta of {
+      cum : int;                (* segments received in order from 0 *)
+      sacks : int list;         (* specific segments this ack confirms *)
+      ece : bool;               (* congestion-experienced echo *)
+      data_tx : Units.time;     (* echo of the data packet's tx time *)
+      int_tel : Packet.int_hop list;  (* echoed inband telemetry *)
+    }
+  | Grant_meta of {
+      g_cum : int;              (* segments received in order (progress) *)
+      g_upto : int;             (* sender may transmit up to this segment *)
+      g_prio : int;             (* priority for granted (scheduled) data *)
+    }
+  | Pull_meta of { p_cum : int }
+  | Nack_meta of { nack_seq : int }
+
+let data_tx_time (p : Packet.t) =
+  match p.meta with Data_meta { tx; _ } -> Some tx | _ -> None
+
+let is_first_rtt (p : Packet.t) =
+  match p.meta with Data_meta { first_rtt; _ } -> first_rtt | _ -> false
+
+let ack_meta (p : Packet.t) =
+  match p.meta with
+  | Ack_meta m -> Some (m.cum, m.sacks, m.ece, m.data_tx, m.int_tel)
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/workload/cdf.ml: Array Fmt Ppt_engine

@@ -1,0 +1,1 @@
+lib/workload/cdf.mli: Format Ppt_engine

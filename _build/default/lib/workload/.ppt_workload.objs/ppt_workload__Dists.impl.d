@@ -1,0 +1,1 @@
+lib/workload/dists.ml: Cdf List

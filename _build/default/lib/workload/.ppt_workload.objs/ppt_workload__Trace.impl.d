@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Buffer Cdf List Ppt_engine Printf Rng String Units

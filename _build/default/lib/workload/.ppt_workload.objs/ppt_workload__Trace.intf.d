@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Cdf Ppt_engine Rng Units

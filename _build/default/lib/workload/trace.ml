@@ -1,0 +1,118 @@
+(* Flow-trace generation: traffic patterns + Poisson arrivals.
+
+   The paper generates flows "by randomly starting flows following the
+   Poisson process and controlling the inter-arrival time of flows to
+   achieve the desired network load" (§6.1). Load is defined against
+   the aggregate edge capacity of the sending hosts, so the mean
+   inter-arrival of the global process is
+
+     1/lambda = mean_flow_size * 8 / (load * n_senders * edge_rate).   *)
+
+open Ppt_engine
+
+type spec = {
+  id : int;
+  src : int;
+  dst : int;
+  size : int;                (* bytes *)
+  start : Units.time;
+}
+
+type pattern =
+  | All_to_all of int array
+  (* every host both sends and receives; src and dst drawn uniformly *)
+  | Incast of { senders : int array; receiver : int }
+  (* N-to-1: load is defined against the receiver's single edge link *)
+  | Pairs of (int * int) array
+  (* fixed (src, dst) pairs drawn uniformly; used for permutations *)
+
+let mean_interarrival_ns ~mean_size ~load ~agg_rate =
+  if load <= 0. || load > 10. then invalid_arg "Trace: bad load";
+  let bits = mean_size *. 8. in
+  bits /. (load *. float_of_int agg_rate) *. 1e9
+
+let pick_src_dst rng = function
+  | All_to_all hosts ->
+    let n = Array.length hosts in
+    let s = Rng.int rng n in
+    let d =
+      let d = Rng.int rng (n - 1) in
+      if d >= s then d + 1 else d
+    in
+    (hosts.(s), hosts.(d))
+  | Incast { senders; receiver } ->
+    (senders.(Rng.int rng (Array.length senders)), receiver)
+  | Pairs pairs ->
+    pairs.(Rng.int rng (Array.length pairs))
+
+(* Aggregate sending capacity that the target load refers to. *)
+let agg_rate ~edge_rate = function
+  | All_to_all hosts -> Array.length hosts * edge_rate
+  | Incast _ -> edge_rate       (* the receiver link is the bottleneck *)
+  | Pairs pairs -> Array.length pairs * edge_rate
+
+let generate ~rng ~cdf ~pattern ~edge_rate ~load ~n_flows () =
+  let arr_rng = Rng.split rng in
+  let size_rng = Rng.split rng in
+  let pick_rng = Rng.split rng in
+  let mean_ia =
+    mean_interarrival_ns ~mean_size:(Cdf.mean cdf) ~load
+      ~agg_rate:(agg_rate ~edge_rate pattern)
+  in
+  let now = ref 0. in
+  List.init n_flows (fun id ->
+      now := !now +. Rng.exponential arr_rng ~mean:mean_ia;
+      let src, dst = pick_src_dst pick_rng pattern in
+      let size = Cdf.sample cdf size_rng in
+      { id; src; dst; size; start = int_of_float !now })
+
+let total_bytes specs =
+  List.fold_left (fun acc s -> acc + s.size) 0 specs
+
+(* CSV round-trip so external traces (or recorded ones) can be
+   replayed: "id,src,dst,size_bytes,start_ns", one flow per line,
+   with a header. *)
+
+let csv_header = "id,src,dst,size_bytes,start_ns"
+
+let to_csv specs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun s ->
+       Buffer.add_string buf
+         (Printf.sprintf "%d,%d,%d,%d,%d\n" s.id s.src s.dst s.size
+            s.start))
+    specs;
+  Buffer.contents buf
+
+let of_csv text =
+  let parse_line lineno line =
+    match String.split_on_char ',' (String.trim line) with
+    | [ id; src; dst; size; start ] ->
+      (try
+         let spec =
+           { id = int_of_string id; src = int_of_string src;
+             dst = int_of_string dst; size = int_of_string size;
+             start = int_of_string start }
+         in
+         if spec.size <= 0 || spec.start < 0 || spec.src = spec.dst then
+           invalid_arg
+             (Printf.sprintf "Trace.of_csv: invalid flow at line %d"
+                lineno);
+         spec
+       with Failure _ ->
+         invalid_arg
+           (Printf.sprintf "Trace.of_csv: bad number at line %d" lineno))
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Trace.of_csv: expected 5 fields at line %d"
+           lineno)
+  in
+  let lines = String.split_on_char '\n' text in
+  let specs =
+    List.filteri (fun i l -> not (i = 0 || String.trim l = "")) lines
+    |> List.mapi (fun i l -> parse_line (i + 2) l)
+  in
+  List.sort (fun a b -> compare a.start b.start) specs

@@ -1,0 +1,37 @@
+(** Flow-trace generation: traffic patterns with Poisson arrivals. *)
+
+open Ppt_engine
+
+type spec = {
+  id : int;
+  src : int;
+  dst : int;
+  size : int;
+  start : Units.time;
+}
+
+type pattern =
+  | All_to_all of int array
+  | Incast of { senders : int array; receiver : int }
+  | Pairs of (int * int) array
+
+val mean_interarrival_ns :
+  mean_size:float -> load:float -> agg_rate:int -> float
+(** Mean inter-arrival of the global Poisson process for a target load
+    on an aggregate capacity. *)
+
+val generate :
+  rng:Rng.t -> cdf:Cdf.t -> pattern:pattern -> edge_rate:Units.rate ->
+  load:float -> n_flows:int -> unit -> spec list
+(** Flows sorted by start time; deterministic in [rng]. *)
+
+val total_bytes : spec list -> int
+
+val csv_header : string
+
+val to_csv : spec list -> string
+(** "id,src,dst,size_bytes,start_ns" with a header line. *)
+
+val of_csv : string -> spec list
+(** Parse and sort by start time; raises [Invalid_argument] on
+    malformed rows, non-positive sizes or self-flows. *)

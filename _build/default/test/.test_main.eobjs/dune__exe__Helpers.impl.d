@@ -1,0 +1,1 @@
+test/helpers.ml: Context Endpoint Flow List Ppt_engine Ppt_netsim Ppt_stats Ppt_transport Prio_queue Rng Sim Topology Units

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Heap List Ppt_engine Printf QCheck QCheck_alcotest Rng Sim Units

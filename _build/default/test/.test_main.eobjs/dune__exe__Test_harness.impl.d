@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Config Figures Format List Ppt_engine Ppt_harness Ppt_stats Printf Runner Schemes String Units

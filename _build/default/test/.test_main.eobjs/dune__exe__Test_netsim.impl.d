@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Fun List Net Packet Ppt_engine Ppt_netsim Prio_queue QCheck QCheck_alcotest Sim Topology Units

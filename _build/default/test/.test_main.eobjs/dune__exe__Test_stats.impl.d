@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Fct Float Gen List Ppt_engine Ppt_stats Printf QCheck QCheck_alcotest Series

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Context Dctcp Endpoint Helpers List Option Ppt_engine Ppt_netsim Ppt_stats Ppt_transport Printf Receiver Reliable Units

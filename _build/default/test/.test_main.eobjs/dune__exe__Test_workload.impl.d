@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cdf Dists Fun List Ppt_engine Ppt_workload Printf QCheck QCheck_alcotest Rng Trace Units

@@ -1,0 +1,42 @@
+(* Shared fixtures for the test suites: small topologies with known
+   parameters, and helpers to run flows to completion. *)
+
+open Ppt_engine
+open Ppt_netsim
+open Ppt_transport
+
+let default_qcfg ?(buffer = Units.kb 200) ?(hp_thresh = Units.kb 60)
+    ?(lp_thresh = Units.kb 40) () =
+  { (Prio_queue.default_config ~buffer_bytes:buffer) with
+    Prio_queue.mark_thresholds =
+      Prio_queue.mark_bands ~hp:(Some hp_thresh) ~lp:(Some lp_thresh) }
+
+(* A small star network: [n] hosts at [rate] with per-link [delay]. *)
+let star ?(n = 4) ?(rate = Units.gbps 10) ?(delay = Units.us 2) ?qcfg
+    ?(collect_int = false) () =
+  let sim = Sim.create () in
+  let qcfg = match qcfg with Some q -> q | None -> default_qcfg () in
+  let topo =
+    Topology.star ~collect_int ~sim ~n_hosts:n ~rate ~delay ~qcfg ()
+  in
+  let rng = Rng.create 42 in
+  let ctx = Context.of_topology ~rto_min:(Units.ms 1) ~rng topo in
+  (sim, topo, ctx)
+
+(* Launch the given (src, dst, size) flows on a transport and run the
+   simulation to quiescence. Returns the context for inspection. *)
+let run_flows ctx (transport : Endpoint.transport) specs =
+  let sim = ctx.Context.sim in
+  List.iteri
+    (fun i (src, dst, size, start) ->
+       let flow = Flow.create ~id:i ~src ~dst ~size ~start in
+       ignore (Sim.schedule_at sim start (fun () ->
+           transport.Endpoint.t_start flow)))
+    specs;
+  Sim.run ~until:(Units.sec 30) sim
+
+let fct_of ctx id =
+  let recs = Ppt_stats.Fct.records ctx.Context.fct in
+  match List.find_opt (fun r -> r.Ppt_stats.Fct.flow = id) recs with
+  | Some r -> Some (r.Ppt_stats.Fct.finish - r.Ppt_stats.Fct.start)
+  | None -> None

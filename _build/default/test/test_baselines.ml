@@ -1,0 +1,367 @@
+(* Tests for the baseline transports the paper compares against:
+   RC3, PIAS, Swift, HPCC, Homa, Aeolus, NDP and the hypothetical
+   fill-to-MW DCTCP. *)
+
+open Ppt_engine
+open Ppt_netsim
+open Ppt_transport
+
+let check = Alcotest.check
+
+let completes ?(n_hosts = 5) ?(flows = 8) ?qcfg ?(collect_int = false)
+    factory =
+  let _sim, _topo, ctx = Helpers.star ~n:n_hosts ?qcfg ~collect_int () in
+  let t = factory ctx in
+  let sink = n_hosts - 1 in
+  let specs =
+    List.init flows (fun i ->
+        (i mod (n_hosts - 1), sink, 5_000 + ((i * 37_813) mod 600_000),
+         i * 30_000))
+  in
+  Helpers.run_flows ctx t specs;
+  (ctx, t.Endpoint.t_name)
+
+let test_completion name factory () =
+  let ctx, _ = completes factory in
+  check Alcotest.int (name ^ ": all flows complete") 8
+    (Ppt_stats.Fct.count ctx.Context.fct)
+
+(* --- RC3 ------------------------------------------------------------ *)
+
+let test_rc3_low_loop_priorities () =
+  let p = Rc3.default_params in
+  check Alcotest.int "first tail packet at P4" 4 (Rc3.lp_prio p 0);
+  check Alcotest.int "packet 39 still P4" 4 (Rc3.lp_prio p 39);
+  check Alcotest.int "packet 40 demotes to P5" 5 (Rc3.lp_prio p 40);
+  check Alcotest.int "packet 1639 still P5" 5 (Rc3.lp_prio p 1639);
+  check Alcotest.int "packet 1640 at P6" 6 (Rc3.lp_prio p 1640);
+  check Alcotest.int "deep tail at P7" 7 (Rc3.lp_prio p 10_000_000)
+
+let test_rc3_sends_low_priority_bytes () =
+  let _sim, _topo, ctx = Helpers.star ~delay:(Units.us 20) () in
+  Helpers.run_flows ctx (Rc3.make () ctx) [ (0, 1, 400_000, 0) ];
+  let r = List.hd (Ppt_stats.Fct.records ctx.Context.fct) in
+  check Alcotest.bool "rc3 low loop carried bytes" true
+    (r.Ppt_stats.Fct.lcp_payload > 0)
+
+(* RC3's defining flaw (§3 Remarks): its low loop keeps pushing without
+   protecting the primary loop, so under contention it occupies far
+   more low-priority buffer than PPT. *)
+let test_rc3_aggressive_vs_ppt () =
+  let lp_bytes factory =
+    let _sim, topo, ctx = Helpers.star ~n:5 () in
+    let t = factory ctx in
+    let specs = List.init 4 (fun i -> (i, 4, 2_000_000, 0)) in
+    List.iteri
+      (fun i (src, dst, size, start) ->
+         let flow = Ppt_transport.Flow.create ~id:i ~src ~dst ~size ~start in
+         ignore (Sim.schedule_at ctx.Context.sim start (fun () ->
+             t.Endpoint.t_start flow)))
+      specs;
+    (* sample the peak low-priority occupancy of the bottleneck port *)
+    let node, pix = topo.Topology.to_host_port 4 in
+    let port = Net.port ctx.Context.net node pix in
+    let peak = ref 0 in
+    let rec sample () =
+      peak := max !peak (Prio_queue.lp_bytes port.Net.q);
+      if Sim.now ctx.Context.sim < Units.ms 4 then
+        ignore (Sim.schedule ctx.Context.sim ~after:(Units.us 10) sample)
+    in
+    ignore (Sim.schedule_at ctx.Context.sim 0 sample);
+    Sim.run ~until:(Units.sec 10) ctx.Context.sim;
+    !peak
+  in
+  let rc3 = lp_bytes (Rc3.make ()) in
+  let ppt = lp_bytes (Ppt_core.Ppt.make ()) in
+  check Alcotest.bool
+    (Printf.sprintf "rc3 low-prio peak %dB > ppt %dB" rc3 ppt)
+    true (rc3 > ppt)
+
+(* --- PIAS ------------------------------------------------------------ *)
+
+let test_pias_demotion () =
+  let p = Pias.default_params in
+  check Alcotest.int "starts at P0" 0 (Pias.prio_of p ~bytes_sent:0);
+  check Alcotest.int "demotes" 3 (Pias.prio_of p ~bytes_sent:150_000);
+  check Alcotest.int "bottoms out at P7" 7
+    (Pias.prio_of p ~bytes_sent:999_999_999)
+
+(* --- Swift ----------------------------------------------------------- *)
+
+let test_swift_keeps_delay_low () =
+  (* a single saturating flow: DCTCP queues up to the marking threshold,
+     Swift should keep the bottleneck queue near its target instead *)
+  let run factory =
+    let _sim, topo, ctx = Helpers.star () in
+    let t = factory ctx in
+    let flow = Flow.create ~id:0 ~src:0 ~dst:1 ~size:4_000_000 ~start:0 in
+    ignore (Sim.schedule_at ctx.Context.sim 0 (fun () ->
+        t.Endpoint.t_start flow));
+    let node, pix = topo.Topology.to_host_port 1 in
+    let port = Net.port ctx.Context.net node pix in
+    let peak = ref 0 in
+    let rec sample () =
+      peak := max !peak (Prio_queue.bytes port.Net.q);
+      if Sim.now ctx.Context.sim < Units.ms 3 then
+        ignore (Sim.schedule ctx.Context.sim ~after:(Units.us 5) sample)
+    in
+    ignore (Sim.schedule_at ctx.Context.sim 0 sample);
+    Sim.run ~until:(Units.sec 10) ctx.Context.sim;
+    !peak
+  in
+  let swift_peak = run (Swift.make ()) in
+  check Alcotest.bool
+    (Printf.sprintf "swift peak queue %dB bounded" swift_peak)
+    true (swift_peak < Units.kb 100)
+
+(* --- HPCC ------------------------------------------------------------ *)
+
+let test_hpcc_needs_int () =
+  let ctx, _ = completes ~collect_int:true (Hpcc.make ()) in
+  check Alcotest.int "hpcc: all flows complete" 8
+    (Ppt_stats.Fct.count ctx.Context.fct)
+
+let test_hpcc_controls_queue () =
+  let _sim, topo, ctx = Helpers.star ~collect_int:true () in
+  let t = Hpcc.make () ctx in
+  List.iter
+    (fun (id, src) ->
+       let flow = Flow.create ~id ~src ~dst:3 ~size:2_000_000 ~start:0 in
+       ignore (Sim.schedule_at ctx.Context.sim 0 (fun () ->
+           t.Endpoint.t_start flow)))
+    [ (0, 0); (1, 1); (2, 2) ];
+  let node, pix = topo.Topology.to_host_port 3 in
+  let port = Net.port ctx.Context.net node pix in
+  let peak = ref 0 in
+  let rec sample () =
+    peak := max !peak (Prio_queue.bytes port.Net.q);
+    if Sim.now ctx.Context.sim < Units.ms 4 then
+      ignore (Sim.schedule ctx.Context.sim ~after:(Units.us 5) sample)
+  in
+  ignore (Sim.schedule_at ctx.Context.sim 0 sample);
+  Sim.run ~until:(Units.sec 10) ctx.Context.sim;
+  check Alcotest.int "all complete" 3 (Ppt_stats.Fct.count ctx.Context.fct);
+  check Alcotest.bool
+    (Printf.sprintf "hpcc peak queue %dB stays under buffer" !peak)
+    true (!peak < Units.kb 150)
+
+(* --- Homa / Aeolus ---------------------------------------------------- *)
+
+let test_homa_small_flow_one_rtt () =
+  (* a flow within RTTbytes completes in about one RTT: all unscheduled *)
+  let _sim, _topo, ctx = Helpers.star ~delay:(Units.us 20) () in
+  let t = Homa.make () ctx in
+  Helpers.run_flows ctx t [ (0, 1, 20_000, 0) ];
+  let fct = Option.get (Helpers.fct_of ctx 0) in
+  check Alcotest.bool
+    (Printf.sprintf "fct=%dns within ~2 RTT" fct)
+    true (fct < 2 * ctx.Context.base_rtt)
+
+let test_homa_grants_large_flows () =
+  let _sim, _topo, ctx = Helpers.star ~delay:(Units.us 20) () in
+  let t = Homa.make () ctx in
+  Helpers.run_flows ctx t [ (0, 1, 800_000, 0) ];
+  check Alcotest.bool "large flow completes via grants" true
+    (Helpers.fct_of ctx 0 <> None)
+
+let test_homa_srpt_preference () =
+  (* under contention for one receiver, the short message should finish
+     far sooner than the long one (SRPT grants + priorities) *)
+  let _sim, _topo, ctx = Helpers.star ~n:5 ~delay:(Units.us 20) () in
+  let t = Homa.make () ctx in
+  Helpers.run_flows ctx t
+    [ (0, 4, 4_000_000, 0); (1, 4, 4_000_000, 0); (2, 4, 60_000, 50_000) ];
+  let short = Option.get (Helpers.fct_of ctx 2) in
+  let long0 = Option.get (Helpers.fct_of ctx 0) in
+  check Alcotest.bool
+    (Printf.sprintf "short=%dns much faster than long=%dns" short long0)
+    true (short * 5 < long0)
+
+let test_aeolus_unscheduled_dropped_early () =
+  (* with a selective-drop threshold, a heavy burst of first-RTT aeolus
+     packets dies at the switch instead of filling the buffer *)
+  let qcfg =
+    { (Helpers.default_qcfg ()) with
+      Prio_queue.sel_drop_threshold = Some (Units.kb 30) }
+  in
+  let _sim, _topo, ctx = Helpers.star ~n:9 ~qcfg () in
+  let t = Homa.make_aeolus () ctx in
+  let specs = List.init 8 (fun i -> (i, 8, 300_000, 0)) in
+  Helpers.run_flows ctx t specs;
+  check Alcotest.int "all complete despite selective drops" 8
+    (Ppt_stats.Fct.count ctx.Context.fct);
+  check Alcotest.bool "selective drops happened" true
+    (Net.total_drops ctx.Context.net > 0)
+
+(* --- NDP -------------------------------------------------------------- *)
+
+let ndp_qcfg () = { (Helpers.default_qcfg ~buffer:(Units.kb 40) ()) with
+                    Prio_queue.trim = true }
+
+let test_ndp_completes_with_trimming () =
+  let _sim, _topo, ctx = Helpers.star ~n:7 ~qcfg:(ndp_qcfg ()) () in
+  let t = Ndp.make () ctx in
+  let specs = List.init 6 (fun i -> (i, 6, 400_000, 0)) in
+  Helpers.run_flows ctx t specs;
+  check Alcotest.int "all complete" 6 (Ppt_stats.Fct.count ctx.Context.fct);
+  (* trimming must have replaced at least some drops *)
+  let trims =
+    let node = Net.node ctx.Context.net 7 in
+    Array.fold_left
+      (fun acc p -> acc + Prio_queue.trims p.Net.q) 0 node.Net.ports
+  in
+  check Alcotest.bool "payloads were trimmed" true (trims > 0)
+
+let test_ndp_single_flow () =
+  let _sim, _topo, ctx = Helpers.star ~qcfg:(ndp_qcfg ()) () in
+  Helpers.run_flows ctx (Ndp.make () ctx) [ (0, 1, 250_000, 0) ];
+  check Alcotest.bool "flow completes" true (Helpers.fct_of ctx 0 <> None)
+
+(* --- hypothetical DCTCP ----------------------------------------------- *)
+
+let test_hypothetical_two_pass () =
+  let specs = [ (0, 1, 500_000, 0); (2, 1, 500_000, 10_000) ] in
+  (* pass 1: record MW *)
+  let mw_table, rec_factory = Hypothetical.record_pass () in
+  let _sim, _topo, ctx1 = Helpers.star ~delay:(Units.us 20) () in
+  Helpers.run_flows ctx1 (rec_factory ctx1) specs;
+  check Alcotest.int "mw recorded for both flows" 2
+    (Hashtbl.length mw_table);
+  (* pass 2: fill to MW; must be no slower overall than plain DCTCP *)
+  let _sim, _topo, ctx2 = Helpers.star ~delay:(Units.us 20) () in
+  Helpers.run_flows ctx2 (Hypothetical.make ~mw_table () ctx2) specs;
+  let d = Ppt_stats.Fct.summarize ctx1.Context.fct in
+  let h = Ppt_stats.Fct.summarize ctx2.Context.fct in
+  check Alcotest.bool
+    (Printf.sprintf "hypo=%.3fms <= dctcp=%.3fms x1.05"
+       h.Ppt_stats.Fct.overall_avg d.Ppt_stats.Fct.overall_avg)
+    true
+    (h.Ppt_stats.Fct.overall_avg
+     <= 1.05 *. d.Ppt_stats.Fct.overall_avg)
+
+(* --- TCP / TCP-10 / Halfback / ExpressPass ----------------------------- *)
+
+let test_tcp10_faster_startup () =
+  (* with no losses, IW10 beats IW3 on a startup-bound flow *)
+  let fct factory =
+    let _sim, _topo, ctx = Helpers.star ~delay:(Units.us 20) () in
+    Helpers.run_flows ctx (factory ctx) [ (0, 1, 120_000, 0) ];
+    Option.get (Helpers.fct_of ctx 0)
+  in
+  let t3 = fct (Tcp.make ()) and t10 = fct (Tcp.make_tcp10 ()) in
+  check Alcotest.bool
+    (Printf.sprintf "tcp10=%dns < tcp=%dns" t10 t3) true (t10 < t3)
+
+let test_halfback_small_flow_one_rtt () =
+  let _sim, _topo, ctx = Helpers.star ~delay:(Units.us 20) () in
+  Helpers.run_flows ctx (Halfback.make () ctx) [ (0, 1, 100_000, 0) ];
+  let fct = Option.get (Helpers.fct_of ctx 0) in
+  (* 100KB ~ BDP: the pace-out burst completes in about one RTT *)
+  check Alcotest.bool
+    (Printf.sprintf "fct=%dns within ~2.5 RTT" fct)
+    true (fct < 5 * ctx.Context.base_rtt / 2)
+
+let test_halfback_large_flow_falls_back () =
+  let _sim, _topo, ctx = Helpers.star ~delay:(Units.us 20) () in
+  Helpers.run_flows ctx (Halfback.make () ctx) [ (0, 1, 2_000_000, 0) ];
+  check Alcotest.bool "large flow still completes" true
+    (Helpers.fct_of ctx 0 <> None)
+
+let test_expresspass_first_rtt_idle () =
+  (* credit-gated: even a tiny flow needs a request round trip, so its
+     FCT must exceed one base RTT *)
+  let _sim, _topo, ctx = Helpers.star ~delay:(Units.us 20) () in
+  Helpers.run_flows ctx (Expresspass.make () ctx) [ (0, 1, 3_000, 0) ];
+  let fct = Option.get (Helpers.fct_of ctx 0) in
+  check Alcotest.bool
+    (Printf.sprintf "fct=%dns > 1 base RTT" fct)
+    true (fct > ctx.Context.base_rtt)
+
+let test_expresspass_completes_many () =
+  let _sim, _topo, ctx = Helpers.star ~n:6 () in
+  let specs =
+    List.init 20 (fun i -> (i mod 5, 5, 4_000 + (i * 9_001), i * 15_000))
+  in
+  Helpers.run_flows ctx (Expresspass.make () ctx) specs;
+  check Alcotest.int "all complete" 20
+    (Ppt_stats.Fct.count ctx.Context.fct)
+
+(* --- PPT over HPCC (appendix B) ----------------------------------------- *)
+
+let test_ppt_hpcc_completes_and_fills () =
+  let _sim, _topo, ctx =
+    Helpers.star ~delay:(Units.us 20) ~collect_int:true ()
+  in
+  Helpers.run_flows ctx (Ppt_core.Ppt_hpcc.make () ctx)
+    [ (0, 1, 600_000, 0) ];
+  let r = List.hd (Ppt_stats.Fct.records ctx.Context.fct) in
+  check Alcotest.bool "flow completes" true
+    (Helpers.fct_of ctx 0 <> None);
+  check Alcotest.bool "lcp carried bytes over hpcc" true
+    (r.Ppt_stats.Fct.lcp_payload > 0)
+
+(* --- PPT over Swift ---------------------------------------------------- *)
+
+let test_ppt_swift_completes () =
+  let ctx, _ = completes (Ppt_core.Ppt_swift.make ()) in
+  check Alcotest.int "ppt-swift: all flows complete" 8
+    (Ppt_stats.Fct.count ctx.Context.fct)
+
+let test_ppt_swift_uses_lcp () =
+  let _sim, _topo, ctx = Helpers.star ~delay:(Units.us 20) () in
+  Helpers.run_flows ctx (Ppt_core.Ppt_swift.make () ctx)
+    [ (0, 1, 600_000, 0) ];
+  let r = List.hd (Ppt_stats.Fct.records ctx.Context.fct) in
+  check Alcotest.bool "lcp carried bytes over swift" true
+    (r.Ppt_stats.Fct.lcp_payload > 0)
+
+let suite =
+  [ Alcotest.test_case "rc3: completes" `Quick
+      (test_completion "rc3" (Rc3.make ()));
+    Alcotest.test_case "rc3: low-loop priorities" `Quick
+      test_rc3_low_loop_priorities;
+    Alcotest.test_case "rc3: low loop carries bytes" `Quick
+      test_rc3_sends_low_priority_bytes;
+    Alcotest.test_case "rc3: more aggressive than ppt" `Quick
+      test_rc3_aggressive_vs_ppt;
+    Alcotest.test_case "pias: completes" `Quick
+      (test_completion "pias" (Pias.make ()));
+    Alcotest.test_case "pias: demotion ladder" `Quick test_pias_demotion;
+    Alcotest.test_case "swift: completes" `Quick
+      (test_completion "swift" (Swift.make ()));
+    Alcotest.test_case "swift: delay stays low" `Quick
+      test_swift_keeps_delay_low;
+    Alcotest.test_case "hpcc: completes with INT" `Quick test_hpcc_needs_int;
+    Alcotest.test_case "hpcc: queue control" `Quick test_hpcc_controls_queue;
+    Alcotest.test_case "homa: completes" `Quick
+      (test_completion "homa" (Homa.make ()));
+    Alcotest.test_case "homa: small flow in one RTT" `Quick
+      test_homa_small_flow_one_rtt;
+    Alcotest.test_case "homa: grants large flows" `Quick
+      test_homa_grants_large_flows;
+    Alcotest.test_case "homa: SRPT preference" `Quick
+      test_homa_srpt_preference;
+    Alcotest.test_case "aeolus: completes" `Quick
+      (test_completion "aeolus" (Homa.make_aeolus ()));
+    Alcotest.test_case "aeolus: selective dropping" `Quick
+      test_aeolus_unscheduled_dropped_early;
+    Alcotest.test_case "ndp: single flow" `Quick test_ndp_single_flow;
+    Alcotest.test_case "ndp: completes with trimming" `Quick
+      test_ndp_completes_with_trimming;
+    Alcotest.test_case "hypothetical: two-pass fill to MW" `Quick
+      test_hypothetical_two_pass;
+    Alcotest.test_case "tcp: iw10 faster startup" `Quick
+      test_tcp10_faster_startup;
+    Alcotest.test_case "halfback: small flow in one RTT" `Quick
+      test_halfback_small_flow_one_rtt;
+    Alcotest.test_case "halfback: large flow fallback" `Quick
+      test_halfback_large_flow_falls_back;
+    Alcotest.test_case "expresspass: first RTT idle" `Quick
+      test_expresspass_first_rtt_idle;
+    Alcotest.test_case "expresspass: many flows" `Quick
+      test_expresspass_completes_many;
+    Alcotest.test_case "ppt-hpcc: completes and fills" `Quick
+      test_ppt_hpcc_completes_and_fills;
+    Alcotest.test_case "ppt-swift: completes" `Quick test_ppt_swift_completes;
+    Alcotest.test_case "ppt-swift: lcp carries bytes" `Quick
+      test_ppt_swift_uses_lcp ]

@@ -1,0 +1,189 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+open Ppt_engine
+
+let check = Alcotest.check
+
+let test_heap_order () =
+  let h = Heap.create ~dummy:(-1) in
+  List.iteri (fun i k -> Heap.push h ~key:k ~tie:i i)
+    [ 5; 3; 8; 1; 9; 3; 0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, _) -> order := k :: !order; drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "sorted" [ 0; 1; 3; 3; 5; 8; 9 ]
+    (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create ~dummy:(-1) in
+  Heap.push h ~key:7 ~tie:0 100;
+  Heap.push h ~key:7 ~tie:1 200;
+  Heap.push h ~key:7 ~tie:2 300;
+  let vals = List.init 3 (fun _ ->
+      match Heap.pop h with Some (_, v) -> v | None -> -1)
+  in
+  check (Alcotest.list Alcotest.int) "fifo" [ 100; 200; 300 ] vals
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order"
+    ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+       let h = Heap.create ~dummy:0 in
+       List.iteri (fun i k -> Heap.push h ~key:k ~tie:i k) keys;
+       let rec drain acc =
+         match Heap.pop h with
+         | Some (k, _) -> drain (k :: acc)
+         | None -> List.rev acc
+       in
+       let popped = drain [] in
+       popped = List.sort compare keys)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim 30 (fun () -> log := 3 :: !log));
+  ignore (Sim.schedule_at sim 10 (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule_at sim 20 (fun () -> log := 2 :: !log));
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !log);
+  check Alcotest.int "clock at last event" 30 (Sim.now sim)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let t = Sim.schedule_at sim 10 (fun () -> fired := true) in
+  Sim.cancel t;
+  Sim.run sim;
+  check Alcotest.bool "cancelled timer must not fire" false !fired
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  let rec tick n () =
+    incr hits;
+    if n > 0 then ignore (Sim.schedule sim ~after:5 (tick (n - 1)))
+  in
+  ignore (Sim.schedule_at sim 0 (tick 9));
+  Sim.run sim;
+  check Alcotest.int "chain of events" 10 !hits;
+  check Alcotest.int "final time" 45 (Sim.now sim)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Sim.schedule_at sim (i * 10) (fun () -> incr fired))
+  done;
+  Sim.run ~until:50 sim;
+  check Alcotest.int "only events before horizon" 5 !fired
+
+let test_sim_past_raises () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim 10 (fun () -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "scheduling in the past"
+    (Invalid_argument "Sim.schedule_at: 5 is in the past (now=10)")
+    (fun () -> ignore (Sim.schedule_at sim 5 ignore))
+
+let test_units_tx_time () =
+  (* 1500 bytes at 10 Gbps = 1200 ns *)
+  check Alcotest.int "mtu at 10G" 1200
+    (Units.tx_time ~rate:(Units.gbps 10) ~bytes:1500);
+  (* rounding up *)
+  check Alcotest.int "1 byte at 10G" 1
+    (Units.tx_time ~rate:(Units.gbps 10) ~bytes:1)
+
+let test_units_bdp () =
+  (* 40 Gbps * 8 us = 40 KB *)
+  check Alcotest.int "bdp 40G x 8us" 40_000
+    (Units.bdp ~rate:(Units.gbps 40) ~rtt:(Units.us 8))
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let xs = List.init 100 (fun _ -> Rng.float a) in
+  let ys = List.init 100 (fun _ -> Rng.float b) in
+  check Alcotest.bool "same seed, same stream" true (xs = ys)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let sub = Rng.split a in
+  let before = Rng.float a in
+  let a2 = Rng.create 7 in
+  let _sub2 = Rng.split a2 in
+  let before2 = Rng.float a2 in
+  ignore (Rng.float sub);
+  check (Alcotest.float 0.) "parent unaffected by split usage"
+    before before2
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng floats live in [0,1)" ~count:500
+    QCheck.small_int
+    (fun seed ->
+       let rng = Rng.create seed in
+       let ok = ref true in
+       for _ = 1 to 50 do
+         let x = Rng.float rng in
+         if x < 0. || x >= 1. then ok := false
+       done;
+       !ok)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"rng ints live in [0,bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+       let rng = Rng.create seed in
+       let ok = ref true in
+       for _ = 1 to 50 do
+         let x = Rng.int rng bound in
+         if x < 0 || x >= bound then ok := false
+       done;
+       !ok)
+
+let prop_exponential_positive =
+  QCheck.Test.make ~name:"exponential variates are non-negative"
+    ~count:200
+    QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, mean) ->
+       let rng = Rng.create seed in
+       let ok = ref true in
+       for _ = 1 to 20 do
+         if Rng.exponential rng ~mean < 0. then ok := false
+       done;
+       !ok)
+
+let test_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 200_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do sum := !sum +. Rng.exponential rng ~mean:100. done;
+  let m = !sum /. float_of_int n in
+  check Alcotest.bool
+    (Printf.sprintf "sample mean %.2f within 2%% of 100" m)
+    true (abs_float (m -. 100.) < 2.)
+
+let suite =
+  [ Alcotest.test_case "heap: pop order" `Quick test_heap_order;
+    Alcotest.test_case "heap: fifo tie-break" `Quick test_heap_fifo_ties;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "sim: event ordering" `Quick test_sim_ordering;
+    Alcotest.test_case "sim: cancel" `Quick test_sim_cancel;
+    Alcotest.test_case "sim: nested scheduling" `Quick
+      test_sim_nested_schedule;
+    Alcotest.test_case "sim: run until horizon" `Quick test_sim_until;
+    Alcotest.test_case "sim: past scheduling raises" `Quick
+      test_sim_past_raises;
+    Alcotest.test_case "units: tx time" `Quick test_units_tx_time;
+    Alcotest.test_case "units: bdp" `Quick test_units_bdp;
+    Alcotest.test_case "rng: determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng: split independence" `Quick
+      test_rng_split_independent;
+    QCheck_alcotest.to_alcotest prop_rng_float_range;
+    QCheck_alcotest.to_alcotest prop_rng_int_range;
+    QCheck_alcotest.to_alcotest prop_exponential_positive;
+    Alcotest.test_case "rng: exponential mean" `Quick
+      test_exponential_mean ]

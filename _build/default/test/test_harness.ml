@@ -1,0 +1,156 @@
+(* Tests for the experiment harness: configurations, the runner and
+   the figure generators (smoke level — the heavy sweeps are exercised
+   by bench/main.exe). *)
+
+open Ppt_engine
+open Ppt_harness
+
+let check = Alcotest.check
+
+let tiny_cfg ?(pattern = Config.All_to_all) ?(n_flows = 40)
+    ?(load = 0.4) () =
+  { (Config.oversub ~scale:2 ~n_flows ~load ()) with
+    Config.pattern;
+    rto_min = Units.ms 1 }
+
+let test_config_shapes () =
+  let t = Config.testbed () in
+  check Alcotest.int "testbed hosts" 15 (Config.n_hosts t);
+  let o = Config.oversub ~scale:9 () in
+  check Alcotest.int "full fabric hosts" 144 (Config.n_hosts o);
+  let s = Config.oversub ~scale:4 () in
+  check Alcotest.int "scaled fabric hosts" 32 (Config.n_hosts s);
+  let f = Config.fast () in
+  check Alcotest.bool "fast fabric named" true
+    (f.Config.name = "oversub-100/400G")
+
+let test_runner_completes_all_schemes () =
+  List.iter
+    (fun scheme ->
+       let r = Runner.run (tiny_cfg ()) scheme in
+       check Alcotest.int
+         (scheme.Schemes.s_name ^ " completes the trace")
+         r.Runner.requested r.Runner.completed)
+    (Schemes.headline @ [ Schemes.pias; Schemes.hpcc; Schemes.swift;
+                          Schemes.ppt_swift ])
+
+let test_runner_determinism () =
+  let run () =
+    let r = Runner.run (tiny_cfg ()) Schemes.ppt in
+    (r.Runner.summary.Ppt_stats.Fct.overall_avg, r.Runner.events)
+  in
+  check Alcotest.bool "same seed, same result" true (run () = run ())
+
+let test_runner_seed_changes_result () =
+  let run seed =
+    let cfg = { (tiny_cfg ()) with Config.seed } in
+    (Runner.run cfg Schemes.ppt).Runner.events
+  in
+  check Alcotest.bool "different seed, different run" true
+    (run 1 <> run 2)
+
+let test_runner_incast () =
+  let cfg = tiny_cfg ~pattern:(Config.Incast { n_senders = 8 }) () in
+  let r = Runner.run cfg Schemes.ppt in
+  check Alcotest.int "incast completes" r.Runner.requested
+    r.Runner.completed
+
+let test_runner_lp_cap () =
+  let r =
+    Runner.run ~lp_buffer_cap:(Units.kb 24) (tiny_cfg ()) Schemes.rc3
+  in
+  check Alcotest.int "rc3 with capped lp buffer completes"
+    r.Runner.requested r.Runner.completed
+
+let test_runner_efficiency_bounds () =
+  let r = Runner.run (tiny_cfg ()) Schemes.ppt in
+  check Alcotest.bool "efficiency in (0, 1]" true
+    (r.Runner.efficiency > 0. && r.Runner.efficiency <= 1.0)
+
+let test_ablations_direction () =
+  (* disabling the whole LCP must not make overall FCT better than the
+     full design under a startup-dominated workload *)
+  let cfg = tiny_cfg ~n_flows:60 () in
+  let full = Runner.run cfg Schemes.ppt in
+  let no_sched = Runner.run cfg Schemes.ppt_no_sched in
+  let small r = r.Runner.summary.Ppt_stats.Fct.small_avg in
+  check Alcotest.bool
+    (Printf.sprintf "scheduling helps small flows: %.4f <= %.4f x1.5"
+       (small full) (small no_sched))
+    true
+    (small full <= 1.5 *. small no_sched)
+
+(* The headline reproduction shape, as a regression test: on the
+   web-search fabric PPT must beat DCTCP on overall and small-flow FCT
+   (the paper's central claim, Fig. 12). *)
+let test_paper_shape_ppt_vs_dctcp () =
+  let cfg = { (Config.oversub ~scale:2 ~n_flows:200 ~load:0.5 ()) with
+              Config.rto_min = Units.ms 1 } in
+  let d = (Runner.run cfg Schemes.dctcp).Runner.summary in
+  let p = (Runner.run cfg Schemes.ppt).Runner.summary in
+  check Alcotest.bool
+    (Printf.sprintf "overall: ppt=%.3f < dctcp=%.3f"
+       p.Ppt_stats.Fct.overall_avg d.Ppt_stats.Fct.overall_avg)
+    true (p.Ppt_stats.Fct.overall_avg < d.Ppt_stats.Fct.overall_avg);
+  check Alcotest.bool
+    (Printf.sprintf "small avg: ppt=%.4f < dctcp=%.4f"
+       p.Ppt_stats.Fct.small_avg d.Ppt_stats.Fct.small_avg)
+    true (p.Ppt_stats.Fct.small_avg < d.Ppt_stats.Fct.small_avg);
+  check Alcotest.bool
+    (Printf.sprintf "small p99: ppt=%.4f < dctcp=%.4f"
+       p.Ppt_stats.Fct.small_p99 d.Ppt_stats.Fct.small_p99)
+    true (p.Ppt_stats.Fct.small_p99 < d.Ppt_stats.Fct.small_p99)
+
+let test_figures_registry () =
+  check Alcotest.int "35 experiments registered" 35
+    (List.length Figures.all);
+  List.iter
+    (fun id ->
+       check Alcotest.bool (id ^ " findable") true
+         (Figures.find id <> None))
+    [ "fig1"; "fig12"; "fig29"; "tab1"; "tab5"; "ext1"; "ext3" ];
+  check Alcotest.bool "unknown id rejected" true
+    (Figures.find "fig99" = None)
+
+let test_static_tables_print () =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter
+    (fun id ->
+       match Figures.find id with
+       | Some (_, _, f) -> f Figures.default_opts ppf
+       | None -> Alcotest.fail ("missing " ^ id))
+    [ "tab1"; "tab2"; "tab3"; "tab4"; "tab5" ];
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let contains needle =
+    let n = String.length needle and h = String.length out in
+    let rec go i =
+      i + n <= h && (String.sub out i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+       check Alcotest.bool (needle ^ " printed") true (contains needle))
+    [ "ppt"; "web-search"; "data-mining"; "RTO_min"; "transport control";
+      "RAFT consensus" ]
+
+let suite =
+  [ Alcotest.test_case "config: topology shapes" `Quick test_config_shapes;
+    Alcotest.test_case "runner: all schemes complete" `Slow
+      test_runner_completes_all_schemes;
+    Alcotest.test_case "runner: determinism" `Quick test_runner_determinism;
+    Alcotest.test_case "runner: seed sensitivity" `Quick
+      test_runner_seed_changes_result;
+    Alcotest.test_case "runner: incast pattern" `Quick test_runner_incast;
+    Alcotest.test_case "runner: rc3 lp cap" `Quick test_runner_lp_cap;
+    Alcotest.test_case "runner: efficiency bounds" `Quick
+      test_runner_efficiency_bounds;
+    Alcotest.test_case "ablation: scheduling direction" `Slow
+      test_ablations_direction;
+    Alcotest.test_case "paper shape: ppt beats dctcp" `Slow
+      test_paper_shape_ppt_vs_dctcp;
+    Alcotest.test_case "figures: registry" `Quick test_figures_registry;
+    Alcotest.test_case "figures: static tables" `Quick
+      test_static_tables_print ]

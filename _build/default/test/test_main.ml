@@ -1,0 +1,11 @@
+let () =
+  Alcotest.run "ppt"
+    [ ("engine", Test_engine.suite);
+      ("netsim", Test_netsim.suite);
+      ("workload", Test_workload.suite);
+      ("stats", Test_stats.suite);
+      ("transport", Test_transport.suite);
+      ("core", Test_core.suite);
+      ("baselines", Test_baselines.suite);
+      ("harness", Test_harness.suite);
+      ("invariants", Test_invariants.suite) ]

@@ -1,0 +1,158 @@
+(* Tests for the statistics library. *)
+
+open Ppt_stats
+
+let check = Alcotest.check
+
+let rc ?(flow = 0) ?(size = 1_000) ?(start = 0) ~finish () =
+  { Fct.flow; size; start; finish; retrans = 0; hcp_payload = size;
+    lcp_payload = 0; hcp_delivered = size; lcp_delivered = 0 }
+
+let test_avg () =
+  let t = Fct.create () in
+  Fct.add t (rc ~finish:1_000_000 ());          (* 1 ms *)
+  Fct.add t (rc ~finish:3_000_000 ());          (* 3 ms *)
+  check (Alcotest.float 1e-9) "avg" 2.0 (Fct.avg t)
+
+let test_size_bins () =
+  let t = Fct.create () in
+  Fct.add t (rc ~size:50_000 ~finish:1_000_000 ());
+  Fct.add t (rc ~size:500_000 ~finish:9_000_000 ());
+  let s = Fct.summarize t in
+  check (Alcotest.float 1e-9) "small avg" 1.0 s.Fct.small_avg;
+  check (Alcotest.float 1e-9) "large avg" 9.0 s.Fct.large_avg;
+  check (Alcotest.float 1e-9) "overall avg" 5.0 s.Fct.overall_avg
+
+let test_boundary_is_inclusive () =
+  (* exactly 100KB counts as small: the paper's (0, 100KB] bin *)
+  let t = Fct.create () in
+  Fct.add t (rc ~size:100_000 ~finish:2_000_000 ());
+  let s = Fct.summarize t in
+  check (Alcotest.float 1e-9) "100KB is small" 2.0 s.Fct.small_avg;
+  check Alcotest.bool "no large flows" true (Float.is_nan s.Fct.large_avg)
+
+let test_percentile () =
+  let t = Fct.create () in
+  for i = 1 to 100 do
+    Fct.add t (rc ~flow:i ~finish:(i * 1_000_000) ())
+  done;
+  let p99 = Fct.percentile t 99. in
+  check Alcotest.bool (Printf.sprintf "p99=%.2f" p99) true
+    (p99 > 98.9 && p99 <= 100.);
+  let p50 = Fct.percentile t 50. in
+  check Alcotest.bool (Printf.sprintf "p50=%.2f" p50) true
+    (p50 > 49. && p50 < 52.)
+
+let test_empty_is_nan () =
+  let t = Fct.create () in
+  check Alcotest.bool "avg of empty" true (Float.is_nan (Fct.avg t));
+  check Alcotest.bool "pct of empty" true
+    (Float.is_nan (Fct.percentile t 99.))
+
+let test_invalid_record_rejected () =
+  let t = Fct.create () in
+  Alcotest.check_raises "finish before start"
+    (Invalid_argument "Fct.add: finish before start")
+    (fun () -> Fct.add t (rc ~start:10 ~finish:5 ()))
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone in p" ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 50) (int_range 1 1_000_000))
+    (fun fcts ->
+       let t = Fct.create () in
+       List.iteri (fun i f -> Fct.add t (rc ~flow:i ~finish:f ())) fcts;
+       let ps = [ 10.; 25.; 50.; 75.; 90.; 99. ] in
+       let vals = List.map (Fct.percentile t) ps in
+       let rec mono = function
+         | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+         | _ -> true
+       in
+       mono vals)
+
+let prop_avg_between_min_max =
+  QCheck.Test.make ~name:"average lies between min and max" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 1 1_000_000))
+    (fun fcts ->
+       let t = Fct.create () in
+       List.iteri (fun i f -> Fct.add t (rc ~flow:i ~finish:f ())) fcts;
+       let ms = List.map (fun f -> float_of_int f /. 1e6) fcts in
+       let mn = List.fold_left min infinity ms in
+       let mx = List.fold_left max neg_infinity ms in
+       let avg = Fct.avg t in
+       avg >= mn -. 1e-9 && avg <= mx +. 1e-9)
+
+let test_slowdown () =
+  (* 1460B at 10G = ~1.2us serialization; base RTT 10us; ideal ~11.2us *)
+  let r = rc ~size:1_460 ~finish:22_336 () in
+  let s =
+    Fct.slowdown ~rate:(Ppt_engine.Units.gbps 10) ~base_rtt:10_000 r
+  in
+  check (Alcotest.float 1e-6) "slowdown of exactly 2x ideal" 2.0 s
+
+let test_slowdown_stats_filtering () =
+  let t = Fct.create () in
+  Fct.add t (rc ~flow:0 ~size:1_000 ~finish:100_000 ());
+  Fct.add t (rc ~flow:1 ~size:1_000_000 ~finish:100_000_000 ());
+  let rate = Ppt_engine.Units.gbps 10 and base_rtt = 10_000 in
+  let _, p99_small =
+    Fct.slowdown_stats ~hi:100_000 ~rate ~base_rtt t
+  in
+  let _, p99_all = Fct.slowdown_stats ~rate ~base_rtt t in
+  check Alcotest.bool "filtered differs from unfiltered" true
+    (p99_small <> p99_all || Float.is_nan p99_small = false)
+
+let test_jain_fairness () =
+  let t = Fct.create () in
+  (* equal throughputs: index 1.0 *)
+  Fct.add t (rc ~flow:0 ~size:1_000 ~finish:1_000 ());
+  Fct.add t (rc ~flow:1 ~size:2_000 ~finish:2_000 ());
+  check (Alcotest.float 1e-9) "equal rates fair" 1.0 (Fct.jain_fairness t);
+  (* add a starved flow: index drops *)
+  Fct.add t (rc ~flow:2 ~size:1_000 ~finish:1_000_000 ());
+  check Alcotest.bool "starvation lowers the index" true
+    (Fct.jain_fairness t < 0.9)
+
+(* --- time series -------------------------------------------------------- *)
+
+let test_series_sampling () =
+  let sim = Ppt_engine.Sim.create () in
+  let counter = ref 0 in
+  let s =
+    Series.sample_every sim ~start:0 ~interval:100 ~until:1_000
+      (fun () -> incr counter; float_of_int !counter)
+  in
+  Ppt_engine.Sim.run sim;
+  check Alcotest.int "11 samples (0..1000 inclusive)" 11 (Series.count s);
+  check (Alcotest.float 1e-9) "mean of 1..11" 6.0 (Series.mean s)
+
+let test_utilization_probe () =
+  let bytes = ref 0 in
+  let probe =
+    Series.utilization_probe ~rate:(Ppt_engine.Units.gbps 10)
+      ~interval:(Ppt_engine.Units.us 100) (fun () -> !bytes)
+  in
+  ignore (probe ());
+  (* 10G for 100us = 125000 bytes; deliver half of it *)
+  bytes := 62_500;
+  check (Alcotest.float 1e-6) "50% utilization" 0.5 (probe ());
+  bytes := 62_500 + 125_000;
+  check (Alcotest.float 1e-6) "100% utilization" 1.0 (probe ())
+
+let suite =
+  [ Alcotest.test_case "fct: average" `Quick test_avg;
+    Alcotest.test_case "fct: size bins" `Quick test_size_bins;
+    Alcotest.test_case "fct: 100KB boundary" `Quick
+      test_boundary_is_inclusive;
+    Alcotest.test_case "fct: percentile" `Quick test_percentile;
+    Alcotest.test_case "fct: empty is nan" `Quick test_empty_is_nan;
+    Alcotest.test_case "fct: invalid record" `Quick
+      test_invalid_record_rejected;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_avg_between_min_max;
+    Alcotest.test_case "slowdown: definition" `Quick test_slowdown;
+    Alcotest.test_case "slowdown: filtering" `Quick
+      test_slowdown_stats_filtering;
+    Alcotest.test_case "fairness: jain index" `Quick test_jain_fairness;
+    Alcotest.test_case "series: sampling" `Quick test_series_sampling;
+    Alcotest.test_case "series: utilization probe" `Quick
+      test_utilization_probe ]

@@ -1,0 +1,146 @@
+(* End-to-end tests for the reliable sender core and DCTCP. *)
+
+open Ppt_engine
+open Ppt_transport
+
+let check = Alcotest.check
+
+(* One 100KB DCTCP flow on an idle network completes at roughly
+   line rate. *)
+let test_single_flow_completes () =
+  let _sim, _topo, ctx = Helpers.star () in
+  let dctcp = Dctcp.make () ctx in
+  Helpers.run_flows ctx dctcp [ (0, 1, 100_000, 0) ];
+  match Helpers.fct_of ctx 0 with
+  | None -> Alcotest.fail "flow did not complete"
+  | Some fct ->
+    (* 100KB at 10G is 80us of serialization; allow ramp-up slack. *)
+    check Alcotest.bool
+      (Printf.sprintf "fct=%dns plausible" fct)
+      true
+      (fct > 80_000 && fct < 2_000_000)
+
+let test_tiny_flow_completes () =
+  let _sim, _topo, ctx = Helpers.star () in
+  let dctcp = Dctcp.make () ctx in
+  Helpers.run_flows ctx dctcp [ (0, 1, 1, 0) ];
+  check Alcotest.bool "1-byte flow finishes" true
+    (Helpers.fct_of ctx 0 <> None)
+
+let test_many_flows_complete () =
+  let _sim, _topo, ctx = Helpers.star ~n:6 () in
+  let dctcp = Dctcp.make () ctx in
+  let specs =
+    List.init 30 (fun i ->
+        let src = i mod 5 in
+        (src, 5, 10_000 + (i * 997), i * 10_000))
+  in
+  Helpers.run_flows ctx dctcp specs;
+  check Alcotest.int "all flows complete" 30
+    (Ppt_stats.Fct.count ctx.Context.fct)
+
+(* Two long flows sharing a bottleneck should finish in about twice the
+   solo time each: a fairness sanity check. *)
+let test_two_flow_sharing () =
+  let _sim, _topo, ctx = Helpers.star () in
+  let dctcp = Dctcp.make () ctx in
+  Helpers.run_flows ctx dctcp
+    [ (0, 2, 2_000_000, 0); (1, 2, 2_000_000, 0) ];
+  let f0 = Option.get (Helpers.fct_of ctx 0) in
+  let f1 = Option.get (Helpers.fct_of ctx 1) in
+  (* solo time ~1.6ms; shared both should take ~3.2ms, and neither
+     should be starved (>4x the other). *)
+  check Alcotest.bool
+    (Printf.sprintf "f0=%d f1=%d both near fair share" f0 f1)
+    true
+    (f0 > 2_400_000 && f1 > 2_400_000
+     && f0 < 8_000_000 && f1 < 8_000_000)
+
+(* Losses are repaired: shrink the switch buffer so overflow happens
+   and verify all data still arrives. *)
+let test_loss_recovery () =
+  let qcfg =
+    Helpers.default_qcfg ~buffer:(Units.kb 15) ~hp_thresh:(Units.kb 200)
+      ~lp_thresh:(Units.kb 200) ()
+    (* marking thresholds above the buffer: pure drop-tail, no ECN *)
+  in
+  let _sim, _topo, ctx = Helpers.star ~n:5 ~qcfg () in
+  let dctcp = Dctcp.make () ctx in
+  let specs = List.init 4 (fun i -> (i, 4, 500_000, 0)) in
+  Helpers.run_flows ctx dctcp specs;
+  check Alcotest.int "all complete despite drops" 4
+    (Ppt_stats.Fct.count ctx.Context.fct);
+  check Alcotest.bool "drops actually happened" true
+    (Ppt_netsim.Net.total_drops ctx.Context.net > 0)
+
+(* ECN marking keeps the queue short: with DCTCP the bottleneck should
+   see zero drops where plain drop-tail would overflow. *)
+let test_ecn_prevents_drops () =
+  let _sim, _topo, ctx = Helpers.star ~n:5 () in
+  let dctcp = Dctcp.make () ctx in
+  let specs = List.init 4 (fun i -> (i, 4, 1_000_000, 0)) in
+  Helpers.run_flows ctx dctcp specs;
+  check Alcotest.int "all complete" 4 (Ppt_stats.Fct.count ctx.Context.fct);
+  check Alcotest.int "no drops with ECN" 0
+    (Ppt_netsim.Net.total_drops ctx.Context.net);
+  check Alcotest.bool "marks happened" true
+    (Ppt_netsim.Net.total_marks ctx.Context.net > 0)
+
+(* The DCTCP view exposes alpha decaying towards zero on an
+   uncongested path and wmax tracking the top window. *)
+let test_dctcp_view () =
+  let _sim, _topo, ctx = Helpers.star () in
+  let seen_alpha = ref 2.0 in
+  let transport =
+    { Endpoint.t_name = "dctcp-probe";
+      t_start = (fun flow ->
+          let params = Reliable.default_params () in
+          Endpoint.launch_window_flow ctx ~params
+            ~rcv_cfg:Receiver.default_config
+            ~setup:(fun snd _rcv ->
+                let view = Dctcp.attach snd in
+                fun () -> seen_alpha := view.Dctcp.alpha ())
+            flow) }
+  in
+  Helpers.run_flows ctx transport [ (0, 1, 3_000_000, 0) ];
+  (* alpha starts at 1.0; a long-running flow must have updated it to a
+     genuine congestion estimate strictly inside (0, 1). *)
+  check Alcotest.bool
+    (Printf.sprintf "alpha=%f updated and bounded" !seen_alpha)
+    true (!seen_alpha > 0. && !seen_alpha < 0.9)
+
+let test_flow_counters () =
+  let _sim, _topo, ctx = Helpers.star () in
+  let dctcp = Dctcp.make () ctx in
+  Helpers.run_flows ctx dctcp [ (0, 1, 123_456, 0) ];
+  let r = List.hd (Ppt_stats.Fct.records ctx.Context.fct) in
+  check Alcotest.bool "hcp payload covers flow" true
+    (r.Ppt_stats.Fct.hcp_payload >= 123_456);
+  check Alcotest.int "no lcp bytes for plain dctcp" 0
+    r.Ppt_stats.Fct.lcp_payload
+
+let test_determinism () =
+  let run () =
+    let _sim, _topo, ctx = Helpers.star ~n:6 () in
+    let dctcp = Dctcp.make () ctx in
+    let specs =
+      List.init 20 (fun i -> (i mod 5, 5, 40_000 + (i * 321), i * 5_000))
+    in
+    Helpers.run_flows ctx dctcp specs;
+    List.map (fun r -> (r.Ppt_stats.Fct.flow, r.Ppt_stats.Fct.finish))
+      (Ppt_stats.Fct.records ctx.Context.fct)
+  in
+  check Alcotest.bool "identical runs" true (run () = run ())
+
+let suite =
+  [ Alcotest.test_case "dctcp: single flow" `Quick
+      test_single_flow_completes;
+    Alcotest.test_case "dctcp: tiny flow" `Quick test_tiny_flow_completes;
+    Alcotest.test_case "dctcp: many flows" `Quick test_many_flows_complete;
+    Alcotest.test_case "dctcp: fair sharing" `Quick test_two_flow_sharing;
+    Alcotest.test_case "dctcp: loss recovery" `Quick test_loss_recovery;
+    Alcotest.test_case "dctcp: ecn prevents drops" `Quick
+      test_ecn_prevents_drops;
+    Alcotest.test_case "dctcp: view state" `Quick test_dctcp_view;
+    Alcotest.test_case "dctcp: flow counters" `Quick test_flow_counters;
+    Alcotest.test_case "dctcp: determinism" `Quick test_determinism ]
