@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- --list            # list experiment ids
      dune exec bench/main.exe -- --only fig12,tab2 # a subset
      dune exec bench/main.exe -- --flows-scale 0.5 # quicker run
-     dune exec bench/main.exe -- --full            # 144-host fabrics *)
+     dune exec bench/main.exe -- --full            # 144-host fabrics
+     dune exec bench/main.exe -- --report          # BENCH_<rev>.json *)
 
 open Ppt_harness
 
@@ -17,6 +18,8 @@ let () =
   let full = ref false in
   let skip_micro = ref false in
   let list_only = ref false in
+  let report = ref false in
+  let report_file = ref "" in
   let spec =
     [ ("--only",
        Arg.String
@@ -29,7 +32,11 @@ let () =
        " use the full-size 144-host fabrics (slow)");
       ("--skip-micro", Arg.Set skip_micro,
        " skip the bechamel micro-benchmarks");
-      ("--list", Arg.Set list_only, " list experiment ids and exit") ]
+      ("--list", Arg.Set list_only, " list experiment ids and exit");
+      ("--report", Arg.Set report,
+       " time fig12/tab2 + micros and write BENCH_<rev>.json");
+      ("--report-file", Arg.Set_string report_file,
+       "FILE report output path (implies --report)") ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -39,6 +46,14 @@ let () =
     List.iter
       (fun (id, descr, _) -> Format.fprintf ppf "%-8s %s@\n" id descr)
       Figures.all;
+    Format.pp_print_flush ppf ()
+  end else if !report || !report_file <> "" then begin
+    let opts =
+      { Figures.flows_scale = !flows_scale; seed = !seed; full = !full }
+    in
+    let ids = if !only = [] then [ "fig12"; "tab2" ] else !only in
+    let path = if !report_file = "" then None else Some !report_file in
+    Report.emit ?path ~ids ~micro:(not !skip_micro) opts ppf;
     Format.pp_print_flush ppf ()
   end else begin
     let opts =

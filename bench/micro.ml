@@ -91,7 +91,9 @@ let tests =
       Test.make ~name:"sim: 8-flow ppt run"
         (small_sim (Ppt_core.Ppt.make ()) ()) ]
 
-let run ppf =
+(* Measure every test and return (name, ns/iteration) sorted by name;
+   nan when bechamel could not produce an estimate. *)
+let estimates () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true
       ~predictors:Measure.[| run |]
@@ -102,12 +104,20 @@ let run ppf =
   in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name ols acc ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | Some _ | None -> nan
+      in
+      (name, est) :: acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let run ppf =
   Format.fprintf ppf "@\n== micro-benchmarks (bechamel, ns/iteration) ==@\n";
-  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-  |> List.sort compare
-  |> List.iter (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] ->
-        Format.fprintf ppf "  %-32s %12.1f ns@\n" name est
-      | Some _ | None ->
-        Format.fprintf ppf "  %-32s (no estimate)@\n" name)
+  List.iter (fun (name, est) ->
+      if Float.is_nan est then
+        Format.fprintf ppf "  %-32s (no estimate)@\n" name
+      else Format.fprintf ppf "  %-32s %12.1f ns@\n" name est)
+    (estimates ())

@@ -1,0 +1,8 @@
+(* Run only the Bechamel micro-benchmarks (the full harness runs them
+   after every experiment; this is the quick loop for hot-path work):
+
+     dune exec bench/micro_main.exe *)
+
+let () =
+  Micro.run Format.std_formatter;
+  Format.pp_print_flush Format.std_formatter ()

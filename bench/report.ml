@@ -1,0 +1,137 @@
+(* Machine-readable performance report: runs a set of macro
+   experiments (wall-clock seconds and simulator events/second) plus
+   the bechamel micro-benchmarks, and writes the results to a
+   BENCH_<rev>.json file so perf regressions can be tracked across
+   revisions (schema documented in HACKING.md). *)
+
+open Ppt_harness
+
+let schema_version = 1
+
+let git_rev () =
+  try
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+type macro = {
+  m_id : string;
+  m_wall_s : float;
+  m_events : int;
+}
+
+(* A formatter that discards everything: the experiments' tables are
+   not part of the report, only their cost is. *)
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let run_macro (opts : Figures.opts) id =
+  match Figures.find id with
+  | None -> invalid_arg (Printf.sprintf "Report: unknown experiment %s" id)
+  | Some (_, _, f) ->
+    let events0 = !Runner.total_events in
+    let t0 = Unix.gettimeofday () in
+    f opts null_ppf;
+    let wall = Unix.gettimeofday () -. t0 in
+    { m_id = id; m_wall_s = wall;
+      m_events = !Runner.total_events - events0 }
+
+(* Hand-rolled JSON writer; the strings involved are experiment ids,
+   test names and a git revision, but escape defensively anyway. *)
+let json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let json_float b f =
+  if Float.is_nan f then Buffer.add_string b "null"
+  else Buffer.add_string b (Printf.sprintf "%.3f" f)
+
+let to_json ~rev ~(opts : Figures.opts) ~micros ~macros =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": %d,\n" schema_version);
+  Buffer.add_string b "  \"rev\": ";
+  json_string b rev;
+  Buffer.add_string b ",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"flows_scale\": %g,\n" opts.Figures.flows_scale);
+  Buffer.add_string b
+    (Printf.sprintf "  \"seed\": %d,\n" opts.Figures.seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"full\": %b,\n" opts.Figures.full);
+  Buffer.add_string b "  \"micro_ns_per_iter\": {";
+  List.iteri
+    (fun i (name, est) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b "\n    ";
+       json_string b name;
+       Buffer.add_string b ": ";
+       json_float b est)
+    micros;
+  if micros <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "},\n";
+  Buffer.add_string b "  \"macro\": [";
+  List.iteri
+    (fun i m ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b "\n    { \"id\": ";
+       json_string b m.m_id;
+       Buffer.add_string b
+         (Printf.sprintf ", \"wall_s\": %.3f, \"events\": %d" m.m_wall_s
+            m.m_events);
+       Buffer.add_string b ", \"events_per_sec\": ";
+       json_float b
+         (if m.m_wall_s > 0. then float_of_int m.m_events /. m.m_wall_s
+          else nan);
+       Buffer.add_string b " }")
+    macros;
+  if macros <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b
+
+(* Run the report and write it to [path] (default BENCH_<rev>.json).
+   [ids] are the macro experiments to time; [micro] includes the
+   bechamel suite. Progress goes to [ppf]. *)
+let emit ?path ?(ids = [ "fig12"; "tab2" ]) ?(micro = true)
+    (opts : Figures.opts) ppf =
+  let rev = git_rev () in
+  let path =
+    match path with
+    | Some p -> p
+    | None -> Printf.sprintf "BENCH_%s.json" rev
+  in
+  let macros =
+    List.map
+      (fun id ->
+         Format.fprintf ppf "report: running %s ...@." id;
+         let m = run_macro opts id in
+         Format.fprintf ppf
+           "report: %s %.1fs, %d events (%.2e events/s)@." id m.m_wall_s
+           m.m_events
+           (float_of_int m.m_events /. m.m_wall_s);
+         m)
+      ids
+  in
+  let micros =
+    if micro then begin
+      Format.fprintf ppf "report: running micro-benchmarks ...@.";
+      Micro.estimates ()
+    end else []
+  in
+  let oc = open_out path in
+  output_string oc (to_json ~rev ~opts ~micros ~macros);
+  close_out oc;
+  Format.fprintf ppf "report: wrote %s@." path

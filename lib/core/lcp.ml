@@ -52,22 +52,16 @@ type t = {
   mutable last_activity : Units.time;
   mutable pace_timer : Sim.timer option;
   mutable watchdog : Sim.timer option;
+  (* reusable timer slots: the pacer's window state lives here and the
+     fire closures are allocated once per flow, so every reschedule of
+     the (per-segment) EWD pacer is allocation-free *)
+  mutable pace_window : int;
+  mutable pace_remaining : int;
+  mutable pace_fire : unit -> unit;
+  mutable watchdog_fire : unit -> unit;
   mutable loops_opened : int;      (* diagnostics *)
   mutable shut : bool;
 }
-
-let create ctx snd view ?(params = default_params) ~identified_large () =
-  let t =
-    { ctx; snd; view; p = params; identified_large;
-      opened = false;
-      tail_ptr = (Reliable.flow snd).Flow.nseg;
-      last_avail = -1;
-      alpha_min = infinity;
-      last_activity = 0;
-      pace_timer = None; watchdog = None;
-      loops_opened = 0; shut = false }
-  in
-  t
 
 let rtt t = t.ctx.Context.base_rtt
 let now t = Sim.now t.ctx.Context.sim
@@ -113,7 +107,7 @@ let send_one t =
     Reliable.send_lcp_segment t.snd seq;
     Flow.seg_payload (Reliable.flow t.snd) seq
 
-let rec watchdog_tick t () =
+let watchdog_tick t =
   t.watchdog <- None;
   if t.opened && not t.shut then begin
     let idle_limit = t.p.idle_rtts * rtt t in
@@ -121,39 +115,57 @@ let rec watchdog_tick t () =
     else
       t.watchdog <-
         Some (Sim.schedule t.ctx.Context.sim ~after:(rtt t)
-                (watchdog_tick t))
+                t.watchdog_fire)
   end
 
 let arm_watchdog t =
   cancel_watchdog t;
   t.watchdog <-
-    Some (Sim.schedule t.ctx.Context.sim ~after:(rtt t) (watchdog_tick t))
+    Some (Sim.schedule t.ctx.Context.sim ~after:(rtt t) t.watchdog_fire)
 
-(* Pace [remaining] bytes of the initial window at I/RTT (EWD); without
-   EWD the whole window goes out back-to-back, at NIC line rate. *)
-let rec pace t ~window ~remaining () =
+(* Pace the remaining bytes of the initial window at I/RTT (EWD);
+   without EWD the whole window goes out back-to-back, at NIC line
+   rate. Window state lives in [t] (see the reusable-slot comment). *)
+let rec pace_tick t =
   t.pace_timer <- None;
-  if t.opened && not t.shut && remaining > 0 then begin
+  if t.opened && not t.shut && t.pace_remaining > 0 then begin
     let sent = send_one t in
     if sent > 0 then begin
       t.last_activity <- now t;
-      let remaining = remaining - sent in
-      if remaining > 0 then begin
+      t.pace_remaining <- t.pace_remaining - sent;
+      if t.pace_remaining > 0 then begin
         if t.p.ewd then begin
           let interval =
             int_of_float
               (float_of_int (rtt t) *. float_of_int sent
-               /. float_of_int window)
+               /. float_of_int t.pace_window)
           in
           t.pace_timer <-
             Some (Sim.schedule t.ctx.Context.sim ~after:(max 1 interval)
-                    (pace t ~window ~remaining))
+                    t.pace_fire)
         end else
-          pace t ~window ~remaining ()
+          pace_tick t
       end
     end
     (* tail exhausted: stay open, the watchdog will close the loop *)
   end
+
+let create ctx snd view ?(params = default_params) ~identified_large () =
+  let t =
+    { ctx; snd; view; p = params; identified_large;
+      opened = false;
+      tail_ptr = (Reliable.flow snd).Flow.nseg;
+      last_avail = -1;
+      alpha_min = infinity;
+      last_activity = 0;
+      pace_timer = None; watchdog = None;
+      pace_window = 0; pace_remaining = 0;
+      pace_fire = ignore; watchdog_fire = ignore;
+      loops_opened = 0; shut = false }
+  in
+  t.pace_fire <- (fun () -> pace_tick t);
+  t.watchdog_fire <- (fun () -> watchdog_tick t);
+  t
 
 let open_loop t ~initial_window =
   if (not t.opened) && not t.shut then begin
@@ -167,7 +179,9 @@ let open_loop t ~initial_window =
       t.loops_opened <- t.loops_opened + 1;
       t.last_activity <- now t;
       arm_watchdog t;
-      pace t ~window:initial_window ~remaining:initial_window ()
+      t.pace_window <- initial_window;
+      t.pace_remaining <- initial_window;
+      pace_tick t
     end
   end
 

@@ -78,3 +78,20 @@ let pop t =
 let clear t =
   Array.fill t.data 0 t.size t.dummy;
   t.size <- 0
+
+(* Keep only the elements satisfying [f], then rebuild the heap
+   property bottom-up. Relative (key, tie) order of survivors is
+   untouched, so pop order stays deterministic. *)
+let filter_in_place t ~f =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    if f t.data.(i) then begin
+      t.keys.(!j) <- t.keys.(i);
+      t.ties.(!j) <- t.ties.(i);
+      t.data.(!j) <- t.data.(i);
+      incr j
+    end
+  done;
+  for i = !j to t.size - 1 do t.data.(i) <- t.dummy done;
+  t.size <- !j;
+  for i = (t.size / 2) - 1 downto 0 do sift_down t i done

@@ -14,3 +14,7 @@ val push : 'a t -> key:int -> tie:int -> 'a -> unit
 val min_key : 'a t -> int option
 val pop : 'a t -> (int * 'a) option
 val clear : 'a t -> unit
+
+val filter_in_place : 'a t -> f:('a -> bool) -> unit
+(** Drop every element not satisfying [f] and re-heapify, in O(n).
+    Pop order of the survivors is unchanged. *)

@@ -11,7 +11,16 @@ val create : unit -> t
 
 val now : t -> Units.time
 val events_processed : t -> int
+
 val pending : t -> int
+(** Scheduled timers that are still live (not cancelled). *)
+
+val cancelled_pending : t -> int
+(** Cancelled timers still occupying queue slots; drops to zero when a
+    compaction pass reclaims them. *)
+
+val compactions : t -> int
+(** Number of dead-timer compaction passes run so far. *)
 
 val schedule_at : t -> Units.time -> (unit -> unit) -> timer
 (** Raises [Invalid_argument] if the time is in the past. *)
@@ -25,5 +34,7 @@ val stop : t -> unit
 (** Stop the run loop after the current event. *)
 
 val run : ?until:Units.time -> ?max_events:int -> t -> unit
-(** Process events until the heap empties, [stop] is called, the clock
-    would pass [until], or [max_events] have fired. *)
+(** Process events until the queue empties, [stop] is called, the clock
+    would pass [until], or [max_events] have fired. An event past
+    [until] is left queued (and the clock left at [until]), so a later
+    [run] call resumes exactly where this one stopped. *)

@@ -29,6 +29,11 @@ type result = {
 
 let horizon = Units.sec 120
 
+(* Cumulative simulator events across every [run] in this process;
+   benchmark harnesses read the delta around a run to report
+   events/second. *)
+let total_events = ref 0
+
 let qcfg_of (cfg : Config.t) (scheme : Schemes.t) ~lp_buffer_cap =
   let buffer_bytes =
     match scheme.Schemes.s_buffer_override with
@@ -114,6 +119,7 @@ let run ?lp_buffer_cap ?trace ?(observe = fun _ _ -> ())
     trace;
   observe ctx topo;
   Sim.run ~until:horizon sim;
+  total_events := !total_events + Sim.events_processed sim;
   let summary = Fct.summarize ctx.Context.fct in
   let records = Fct.records ctx.Context.fct in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 records in

@@ -19,6 +19,10 @@ type port = {
   mutable busy : bool;
   mutable tx_bytes : int;           (* cumulative wire bytes sent *)
   mutable tx_payload : int;         (* cumulative data payload sent *)
+  mutable tx_done : unit -> unit;
+  (* preallocated end-of-serialization continuation, installed by
+     [create] so the transmit loop does not close over the port on
+     every packet *)
 }
 
 type node = {
@@ -42,21 +46,10 @@ let no_route (_ : Packet.t) = invalid_arg "Net: route not installed"
 
 let make_port ~owner ~pix ~rate ~delay qcfg =
   { owner; pix; rate; delay; peer = -1; q = Prio_queue.create qcfg;
-    busy = false; tx_bytes = 0; tx_payload = 0 }
+    busy = false; tx_bytes = 0; tx_payload = 0; tx_done = ignore }
 
 let make_node ~nid ~is_host ports =
   { nid; is_host; ports; route = no_route }
-
-let create sim ?(collect_int = false) nodes =
-  Array.iteri (fun i n ->
-      if n.nid <> i then invalid_arg "Net.create: node ids must be dense";
-      Array.iter (fun p ->
-          if p.peer < 0 || p.peer >= Array.length nodes then
-            invalid_arg "Net.create: unconnected port")
-        n.ports)
-    nodes;
-  { sim; nodes; handlers = Hashtbl.create 1024; collect_int;
-    delivered = 0; undeliverable = 0 }
 
 let sim t = t.sim
 let node t nid = t.nodes.(nid)
@@ -97,7 +90,7 @@ let rec start_tx t (port : port) =
     let arrive_after = tx + port.delay in
     ignore (Sim.schedule t.sim ~after:arrive_after (fun () ->
         receive t port.peer p));
-    ignore (Sim.schedule t.sim ~after:tx (fun () -> start_tx t port))
+    ignore (Sim.schedule t.sim ~after:tx port.tx_done)
 
 and send_on_port t (port : port) (p : Packet.t) =
   stamp_int t port p;
@@ -114,6 +107,24 @@ and receive t nid (p : Packet.t) =
     let pix = node.route p in
     send_on_port t node.ports.(pix) p
   end
+
+let create sim ?(collect_int = false) nodes =
+  Array.iteri (fun i n ->
+      if n.nid <> i then invalid_arg "Net.create: node ids must be dense";
+      Array.iter (fun p ->
+          if p.peer < 0 || p.peer >= Array.length nodes then
+            invalid_arg "Net.create: unconnected port")
+        n.ports)
+    nodes;
+  let t =
+    { sim; nodes; handlers = Hashtbl.create 1024; collect_int;
+      delivered = 0; undeliverable = 0 }
+  in
+  Array.iter (fun n ->
+      Array.iter (fun p -> p.tx_done <- (fun () -> start_tx t p))
+        n.ports)
+    nodes;
+  t
 
 (* Inject a packet at its source host NIC (port 0 by convention). *)
 let send t (p : Packet.t) =

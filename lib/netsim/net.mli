@@ -17,6 +17,9 @@ type port = {
   mutable busy : bool;
   mutable tx_bytes : int;
   mutable tx_payload : int;
+  mutable tx_done : unit -> unit;
+  (** Preallocated end-of-serialization continuation; installed by
+      {!create}, not meant to be called by users. *)
 }
 
 type node = {

@@ -68,6 +68,15 @@ let make ?(seq = -1) ?(payload = 0) ?(prio = 0) ?(loop = H)
     loop; ecn_capable; ecn_ce = false; trimmed = false; sel_drop;
     int_tel = []; meta }
 
+(* Placeholder for vacated queue slots; never routed. Built literally
+   rather than via [make] so it does not consume a uid — uids feed the
+   per-packet spraying hash and must not shift. *)
+let dummy =
+  { uid = -1; flow = -1; src = -1; dst = -1; seq = -1; payload = 0;
+    wire = 0; prio = 0; kind = Ctrl; loop = H; ecn_capable = false;
+    ecn_ce = false; trimmed = false; sel_drop = false; int_tel = [];
+    meta = No_meta }
+
 let is_data p = p.kind = Data
 
 let pp_kind ppf = function

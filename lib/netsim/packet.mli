@@ -54,6 +54,10 @@ val make :
   ?ecn_capable:bool -> ?sel_drop:bool -> ?meta:meta ->
   flow:int -> src:int -> dst:int -> kind -> t
 
+val dummy : t
+(** Inert placeholder for vacated queue slots; never routed. Does not
+    consume a uid. *)
+
 val is_data : t -> bool
 val pp : Format.formatter -> t -> unit
 val pp_kind : Format.formatter -> kind -> unit

@@ -53,9 +53,19 @@ let default_config ~buffer_bytes = {
 let dt_bands ~hp ~lp =
   Array.init n_prios (fun p -> if p < lp_band_start then hp else lp)
 
+(* Each priority level is a preallocated ring buffer (power-of-two
+   capacity, grown by unwrapping into a doubled array), and [live] is a
+   bitmask of the nonempty priorities so [dequeue] finds the
+   head-of-line queue with one table lookup instead of a linear scan.
+   Popped slots are overwritten with [Packet.dummy] so the queue never
+   retains dead packets. *)
 type t = {
   cfg : config;
-  queues : Packet.t Queue.t array;
+  dt_alphas : float array;          (* [||] when DT sharing is off *)
+  mutable rings : Packet.t array array;
+  heads : int array;
+  lens : int array;
+  mutable live : int;               (* bitmask of nonempty priorities *)
   qbytes : int array;
   mutable bytes : int;
   mutable lp_bytes : int;   (* occupancy of the P4-P7 band *)
@@ -71,14 +81,60 @@ type t = {
 
 type verdict = Enqueued | Dropped | Trimmed
 
+(* [lowest_set.(mask)] is the lowest set bit's index; n_prios if none. *)
+let lowest_set =
+  Array.init (1 lsl n_prios) (fun m ->
+      let rec find b =
+        if b >= n_prios then n_prios
+        else if m land (1 lsl b) <> 0 then b
+        else find (b + 1)
+      in
+      find 0)
+
 let create cfg =
   assert (Array.length cfg.mark_thresholds = n_prios);
   { cfg;
-    queues = Array.init n_prios (fun _ -> Queue.create ());
+    dt_alphas =
+      (match cfg.dt_alphas with
+       | Some a -> assert (Array.length a = n_prios); a
+       | None -> [||]);
+    rings = Array.init n_prios (fun _ -> Array.make 16 Packet.dummy);
+    heads = Array.make n_prios 0;
+    lens = Array.make n_prios 0;
+    live = 0;
     qbytes = Array.make n_prios 0;
     bytes = 0; lp_bytes = 0;
     enq_pkts = 0; drop_pkts = 0; drop_hp_pkts = 0; drop_lp_pkts = 0;
     drop_bytes = 0; trim_pkts = 0; mark_pkts = 0 }
+
+let ring_push t prio p =
+  let cap = Array.length t.rings.(prio) in
+  if t.lens.(prio) = cap then begin
+    (* unwrap the full ring into a doubled array *)
+    let bigger = Array.make (2 * cap) Packet.dummy in
+    let old = t.rings.(prio) and head = t.heads.(prio) in
+    for i = 0 to cap - 1 do
+      bigger.(i) <- old.((head + i) land (cap - 1))
+    done;
+    t.rings.(prio) <- bigger;
+    t.heads.(prio) <- 0
+  end;
+  let arr = t.rings.(prio) in
+  arr.((t.heads.(prio) + t.lens.(prio)) land (Array.length arr - 1))
+    <- p;
+  t.lens.(prio) <- t.lens.(prio) + 1;
+  t.live <- t.live lor (1 lsl prio)
+
+let ring_pop t prio =
+  let arr = t.rings.(prio) in
+  let head = t.heads.(prio) in
+  let p = arr.(head) in
+  arr.(head) <- Packet.dummy;
+  t.heads.(prio) <- (head + 1) land (Array.length arr - 1);
+  let len = t.lens.(prio) - 1 in
+  t.lens.(prio) <- len;
+  if len = 0 then t.live <- t.live land lnot (1 lsl prio);
+  p
 
 let bytes t = t.bytes
 let lp_bytes t = t.lp_bytes
@@ -94,14 +150,9 @@ let trims t = t.trim_pkts
 let marks t = t.mark_pkts
 let enqueues t = t.enq_pkts
 
-let occupancy_for_marking t (p : Packet.t) =
-  match t.cfg.mark_basis with
-  | Port_occupancy -> t.bytes
-  | Queue_occupancy -> t.qbytes.(p.prio)
-
 let push t (p : Packet.t) =
   let prio = max 0 (min (n_prios - 1) p.prio) in
-  Queue.push p t.queues.(prio);
+  ring_push t prio p;
   t.qbytes.(prio) <- t.qbytes.(prio) + p.wire;
   t.bytes <- t.bytes + p.wire;
   if prio >= lp_band_start then t.lp_bytes <- t.lp_bytes + p.wire;
@@ -109,10 +160,17 @@ let push t (p : Packet.t) =
   (* Instantaneous marking against the occupancy that the packet sees. *)
   if p.ecn_capable then begin
     match t.cfg.mark_thresholds.(prio) with
-    | Some k when occupancy_for_marking t p > k ->
-      if not p.ecn_ce then t.mark_pkts <- t.mark_pkts + 1;
-      p.ecn_ce <- true
-    | Some _ | None -> ()
+    | Some k ->
+      let occ =
+        match t.cfg.mark_basis with
+        | Port_occupancy -> t.bytes
+        | Queue_occupancy -> t.qbytes.(prio)
+      in
+      if occ > k then begin
+        if not p.ecn_ce then t.mark_pkts <- t.mark_pkts + 1;
+        p.ecn_ce <- true
+      end
+    | None -> ()
   end
 
 let drop t (p : Packet.t) =
@@ -121,26 +179,26 @@ let drop t (p : Packet.t) =
   else t.drop_hp_pkts <- t.drop_hp_pkts + 1;
   t.drop_bytes <- t.drop_bytes + p.wire
 
-let enqueue t (p : Packet.t) =
-  let fits extra = t.bytes + extra <= t.cfg.buffer_bytes in
-  let dt_fits (p : Packet.t) =
-    match t.cfg.dt_alphas with
-    | None -> true
-    | Some _ when p.sel_drop ->
+(* Admission is straight-line and allocation-free: integer checks run
+   first, and the dynamic-threshold float comparison (the only float
+   work on the datapath) only when DT sharing is on and the packet is
+   subject to it. *)
+let admits t (p : Packet.t) =
+  t.bytes + p.wire <= t.cfg.buffer_bytes
+  && (p.prio < lp_band_start
+      || (match t.cfg.lp_buffer_cap with
+          | None -> true
+          | Some cap -> t.lp_bytes + p.wire <= cap))
+  && (Array.length t.dt_alphas = 0
       (* selectively-droppable (Aeolus) packets are admitted by their
-         own threshold below, not by the dynamic shares *)
-      true
-    | Some alphas ->
-      let prio = max 0 (min (n_prios - 1) p.prio) in
-      let free = float_of_int (t.cfg.buffer_bytes - t.bytes) in
-      float_of_int (t.qbytes.(prio) + p.wire) <= alphas.(prio) *. free
-  in
-  let lp_fits extra =
-    p.prio < lp_band_start
-    || (match t.cfg.lp_buffer_cap with
-        | None -> true
-        | Some cap -> t.lp_bytes + extra <= cap)
-  in
+         own threshold, not by the dynamic shares *)
+      || p.sel_drop
+      || (let prio = max 0 (min (n_prios - 1) p.prio) in
+          float_of_int (t.qbytes.(prio) + p.wire)
+          <= t.dt_alphas.(prio)
+             *. float_of_int (t.cfg.buffer_bytes - t.bytes)))
+
+let enqueue t (p : Packet.t) =
   let sel_dropped =
     p.sel_drop
     && (match t.cfg.sel_drop_threshold with
@@ -148,15 +206,13 @@ let enqueue t (p : Packet.t) =
         | None -> false)
   in
   if sel_dropped then begin drop t p; Dropped end
-  else if fits p.wire && lp_fits p.wire && dt_fits p then begin
-    push t p; Enqueued
-  end
+  else if admits t p then begin push t p; Enqueued end
   else if t.cfg.trim && p.kind = Data && not p.trimmed then begin
     (* NDP: cut the payload, keep the header, jump to the top queue. *)
     p.trimmed <- true;
     p.wire <- trim_wire_bytes;
     p.prio <- 0;
-    if fits p.wire then begin
+    if t.bytes + p.wire <= t.cfg.buffer_bytes then begin
       t.trim_pkts <- t.trim_pkts + 1;
       push t p;
       Trimmed
@@ -165,15 +221,12 @@ let enqueue t (p : Packet.t) =
   else begin drop t p; Dropped end
 
 let dequeue t =
-  let rec find prio =
-    if prio >= n_prios then None
-    else if Queue.is_empty t.queues.(prio) then find (prio + 1)
-    else begin
-      let p = Queue.pop t.queues.(prio) in
-      t.qbytes.(prio) <- t.qbytes.(prio) - p.wire;
-      t.bytes <- t.bytes - p.wire;
-      if prio >= lp_band_start then t.lp_bytes <- t.lp_bytes - p.wire;
-      Some p
-    end
-  in
-  find 0
+  let prio = lowest_set.(t.live) in
+  if prio >= n_prios then None
+  else begin
+    let p = ring_pop t prio in
+    t.qbytes.(prio) <- t.qbytes.(prio) - p.wire;
+    t.bytes <- t.bytes - p.wire;
+    if prio >= lp_band_start then t.lp_bytes <- t.lp_bytes - p.wire;
+    Some p
+  end

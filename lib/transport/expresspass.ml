@@ -91,6 +91,7 @@ type host_state = {
   hs_ctx : Context.t;
   mutable active : msg list;      (* round-robin credit targets *)
   mutable pacing : bool;
+  mutable pace_fire : unit -> unit;   (* preallocated pacer callback *)
 }
 
 let send_credit hs (m : msg) =
@@ -111,7 +112,7 @@ let credit_window = 64
 let wants_credit (m : msg) =
   (not m.m_done) && m.m_credits_sent < m.m_received + credit_window
 
-let rec pace hs () =
+let pace hs () =
   match List.filter wants_credit hs.active with
   | [] -> hs.pacing <- false
   | eligible ->
@@ -123,12 +124,12 @@ let rec pace hs () =
     let slot =
       Units.tx_time ~rate:hs.hs_ctx.Context.edge_rate ~bytes:Packet.mtu
     in
-    ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:slot (pace hs))
+    ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:slot hs.pace_fire)
 
 let kick hs =
   if not hs.pacing then begin
     hs.pacing <- true;
-    ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:0 (pace hs))
+    ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:0 hs.pace_fire)
   end
 
 let receiver_on_data hs (m : msg) (p : Packet.t) =
@@ -160,7 +161,10 @@ let make () ctx =
     match Hashtbl.find_opt hosts host with
     | Some hs -> hs
     | None ->
-      let hs = { hs_ctx = ctx; active = []; pacing = false } in
+      let hs =
+        { hs_ctx = ctx; active = []; pacing = false; pace_fire = ignore }
+      in
+      hs.pace_fire <- (fun () -> pace hs ());
       Hashtbl.add hosts host hs;
       hs
   in

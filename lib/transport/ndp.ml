@@ -99,6 +99,7 @@ type host_state = {
   hs_ctx : Context.t;
   pulls : msg Queue.t;        (* round-robin pull tokens *)
   mutable pacing : bool;
+  mutable pace_fire : unit -> unit;   (* preallocated pacer callback *)
 }
 
 let send_pull hs (m : msg) =
@@ -121,7 +122,7 @@ let rec pace hs () =
       let slot =
         Units.tx_time ~rate:hs.hs_ctx.Context.edge_rate ~bytes:Packet.mtu
       in
-      ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:slot (pace hs))
+      ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:slot hs.pace_fire)
     end
 
 let enqueue_pull hs (m : msg) =
@@ -129,7 +130,7 @@ let enqueue_pull hs (m : msg) =
     Queue.push m hs.pulls;
     if not hs.pacing then begin
       hs.pacing <- true;
-      ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:0 (pace hs))
+      ignore (Sim.schedule hs.hs_ctx.Context.sim ~after:0 hs.pace_fire)
     end
   end
 
@@ -180,7 +181,11 @@ let make ?(params = default_params) () ctx =
     match Hashtbl.find_opt hosts host with
     | Some hs -> hs
     | None ->
-      let hs = { hs_ctx = ctx; pulls = Queue.create (); pacing = false } in
+      let hs =
+        { hs_ctx = ctx; pulls = Queue.create (); pacing = false;
+          pace_fire = ignore }
+      in
+      hs.pace_fire <- (fun () -> pace hs ());
       Hashtbl.add hosts host hs;
       hs
   in

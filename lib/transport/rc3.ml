@@ -45,6 +45,7 @@ type lcp_state = {
   mutable tail_ptr : int;
   mutable sent_count : int;
   mutable timer : Sim.timer option;
+  mutable pump_fire : unit -> unit;   (* preallocated pacer callback *)
   mutable stopped : bool;
 }
 
@@ -56,7 +57,7 @@ let stop_lcp st =
 
 (* Blast the tail at line rate: one low-priority segment per NIC
    serialization slot until the loops cross or the buffer is empty. *)
-let rec lcp_pump st () =
+let lcp_pump st () =
   st.timer <- None;
   if not st.stopped then
     match Reliable.lcp_pick_tail st.snd ~below:st.tail_ptr with
@@ -72,7 +73,7 @@ let rec lcp_pump st () =
           ~bytes:(pay + Packet.header_bytes)
       in
       st.timer <-
-        Some (Sim.schedule st.ctx.Context.sim ~after:slot (lcp_pump st))
+        Some (Sim.schedule st.ctx.Context.sim ~after:slot st.pump_fire)
 
 let make ?(params = default_params) () ctx =
   let mss = Packet.max_payload in
@@ -89,8 +90,10 @@ let make ?(params = default_params) () ctx =
               ignore (Dctcp.attach snd);
               let st =
                 { snd; params; ctx; tail_ptr = flow.Flow.nseg;
-                  sent_count = 0; timer = None; stopped = false }
+                  sent_count = 0; timer = None; pump_fire = ignore;
+                  stopped = false }
               in
+              st.pump_fire <- (fun () -> lcp_pump st ());
               (* the low loops start together with the primary loop *)
               ignore (Sim.schedule ctx.Context.sim ~after:0 (lcp_pump st));
               fun () -> stop_lcp st)

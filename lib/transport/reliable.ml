@@ -77,6 +77,9 @@ type t = {
   retx : int Queue.t;
   mutable rto_backoff : int;
   mutable rto_timer : Sim.timer option;
+  mutable rto_fire : unit -> unit;
+  (* the one RTO callback for this sender, preallocated so arming the
+     (endlessly rescheduled) timer never closes over state again *)
   (* per-RTT observation window (DCTCP-style) *)
   mutable win_end : int;
   mutable win_acked : int;
@@ -96,23 +99,6 @@ let default_on_loss t =
   t.cwnd <- Float.max (float_of_int t.mss) (t.cwnd /. 2.)
 
 let default_on_timeout t = t.cwnd <- float_of_int t.mss
-
-let create ctx flow p =
-  { ctx; flow; p; mss = Packet.max_payload;
-    seg = Bytes.make flow.Flow.nseg st_unsent;
-    cwnd = float_of_int p.initial_cwnd;
-    snd_nxt = 0; cum_ack = 0; sacked_cnt = 0; inflight = 0;
-    l_inflight_segs = 0;
-    dup_acks = 0; in_recovery = false; recovery_end = 0;
-    retx = Queue.create (); rto_backoff = 1; rto_timer = None;
-    win_end = 0; win_acked = 0; win_marked = 0; bytes_sent = 0;
-    shut = false;
-    hook_on_ack = (fun _ _ -> ());
-    hook_on_window = (fun _ ~f:_ -> ());
-    hook_on_loss = default_on_loss;
-    hook_on_timeout = default_on_timeout;
-    hook_on_lcp_ack = (fun _ _ -> ());
-    hook_more_data = (fun _ -> ()) }
 
 let cwnd t = t.cwnd
 let set_cwnd t w =
@@ -182,7 +168,7 @@ let rec arm_rto t =
      && t.inflight > 0 && not t.shut then
     t.rto_timer <-
       Some (Sim.schedule t.ctx.Context.sim ~after:(rto_interval t)
-              (fun () -> on_rto t))
+              t.rto_fire)
 
 and reset_rto t =
   cancel_rto t;
@@ -278,6 +264,28 @@ and try_send t =
         if t.win_end = 0 then t.win_end <- t.snd_nxt;
         try_send t
       end
+
+let create ctx flow p =
+  let t =
+    { ctx; flow; p; mss = Packet.max_payload;
+      seg = Bytes.make flow.Flow.nseg st_unsent;
+      cwnd = float_of_int p.initial_cwnd;
+      snd_nxt = 0; cum_ack = 0; sacked_cnt = 0; inflight = 0;
+      l_inflight_segs = 0;
+      dup_acks = 0; in_recovery = false; recovery_end = 0;
+      retx = Queue.create (); rto_backoff = 1; rto_timer = None;
+      rto_fire = ignore;
+      win_end = 0; win_acked = 0; win_marked = 0; bytes_sent = 0;
+      shut = false;
+      hook_on_ack = (fun _ _ -> ());
+      hook_on_window = (fun _ ~f:_ -> ());
+      hook_on_loss = default_on_loss;
+      hook_on_timeout = default_on_timeout;
+      hook_on_lcp_ack = (fun _ _ -> ());
+      hook_more_data = (fun _ -> ()) }
+  in
+  t.rto_fire <- (fun () -> on_rto t);
+  t
 
 let start t =
   if not t.shut then begin

@@ -62,6 +62,8 @@ type t = {
   retx : int Queue.t;
   mutable rto_backoff : int;
   mutable rto_timer : Sim.timer option;
+  mutable rto_fire : unit -> unit;
+  (** Preallocated RTO callback; installed by {!create}. *)
   mutable win_end : int;
   mutable win_acked : int;
   mutable win_marked : int;

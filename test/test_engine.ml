@@ -82,6 +82,156 @@ let test_sim_until () =
   Sim.run ~until:50 sim;
   check Alcotest.int "only events before horizon" 5 !fired
 
+(* Regression: an event beyond [until] must survive the horizon check
+   (it used to be popped and discarded), so a later [run] resumes
+   exactly where the previous one stopped. *)
+let test_sim_until_resume () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  ignore (Sim.schedule_at sim 60 (fun () -> fired := 60 :: !fired));
+  ignore (Sim.schedule_at sim 40 (fun () -> fired := 40 :: !fired));
+  Sim.run ~until:50 sim;
+  check (Alcotest.list Alcotest.int) "only pre-horizon events" [ 40 ]
+    (List.rev !fired);
+  check Alcotest.int "clock parked at horizon" 50 (Sim.now sim);
+  check Alcotest.int "post-horizon event still pending" 1
+    (Sim.pending sim);
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "resumed run fires it" [ 40; 60 ]
+    (List.rev !fired);
+  check Alcotest.int "clock at last event" 60 (Sim.now sim)
+
+let test_sim_cancel_accounting () =
+  let sim = Sim.create () in
+  let ts = List.init 10 (fun i -> Sim.schedule_at sim (10 + i) ignore) in
+  List.iteri (fun i t -> if i mod 2 = 0 then Sim.cancel t) ts;
+  check Alcotest.int "live timers" 5 (Sim.pending sim);
+  check Alcotest.int "dead slots" 5 (Sim.cancelled_pending sim);
+  Sim.run sim;
+  check Alcotest.int "drained" 0 (Sim.pending sim);
+  check Alcotest.int "dead slots reclaimed" 0 (Sim.cancelled_pending sim)
+
+(* Model-based scheduler test: drive the same randomized scenario —
+   near/far/tied timers, nested scheduling from callbacks, random
+   cancellations and a mass-cancel burst large enough to trigger
+   compaction — through [Sim] and through a naive sorted-list reference
+   scheduler, and require the exact same fire log. This pins down the
+   total (time, insertion-order) event order across the calendar
+   queue's current-bucket heap, wheel buckets and overflow tier. *)
+module Ref_sched = struct
+  type ev = {
+    key : int;
+    tie : int;
+    mutable alive : bool;
+    fire : unit -> unit;
+  }
+
+  type t = { mutable evs : ev list; mutable now : int; mutable tie : int }
+
+  let create () = { evs = []; now = 0; tie = 0 }
+
+  let schedule t key fire =
+    if key < t.now then invalid_arg "Ref_sched: past";
+    let ev = { key; tie = t.tie; alive = true; fire } in
+    t.tie <- t.tie + 1;
+    t.evs <- ev :: t.evs;
+    fun () -> ev.alive <- false
+
+  let run t =
+    let rec loop () =
+      let best =
+        List.fold_left
+          (fun acc ev ->
+             if not ev.alive then acc
+             else
+               match acc with
+               | None -> Some ev
+               | Some b ->
+                 if (ev.key, ev.tie) < (b.key, b.tie) then Some ev
+                 else acc)
+          None t.evs
+      in
+      match best with
+      | None -> ()
+      | Some ev ->
+        ev.alive <- false;
+        t.now <- ev.key;
+        ev.fire ();
+        loop ()
+    in
+    loop ()
+end
+
+(* Generate the scenario through an abstract (schedule, now) pair; as
+   long as both schedulers fire events in the same order, every random
+   draw happens at the same point and the logs coincide. *)
+let drive ~schedule ~now seed =
+  let rng = Rng.create seed in
+  let log = ref [] in
+  let cancels = ref [||] in
+  let push c = cancels := Array.append !cancels [| c |] in
+  let n_id = ref 0 in
+  let rec spawn depth () =
+    let id = !n_id in
+    incr n_id;
+    fun () ->
+      log := (id, now ()) :: !log;
+      if depth < 3 then begin
+        for _ = 1 to Rng.int rng 3 do
+          let dt =
+            match Rng.int rng 4 with
+            | 0 -> 0                                  (* tie with now *)
+            | 1 -> Rng.int rng 50                     (* same bucket *)
+            | 2 -> Rng.int rng 5_000                  (* within wheel *)
+            | _ -> 300_000 + Rng.int rng 1_000_000    (* overflow *)
+          in
+          push (schedule (now () + dt) (spawn (depth + 1) ()))
+        done;
+        if Rng.int rng 3 = 0 && Array.length !cancels > 0 then
+          !cancels.(Rng.int rng (Array.length !cancels)) ()
+      end
+  in
+  for _ = 1 to 200 do
+    push (schedule (Rng.int rng 2_000_000) (spawn 0 ()))
+  done;
+  (* Burst of far-future timers cancelled on the spot: enough dead
+     slots to push Sim over its compaction threshold. *)
+  let (_ : unit -> unit) =
+    schedule 1_000_000 (fun () ->
+        let cs =
+          List.init 1500 (fun i ->
+              schedule (5_000_000 + i) (fun () ->
+                  log := (-1, now ()) :: !log))
+        in
+        List.iter (fun c -> c ()) cs)
+  in
+  log
+
+let prop_sim_matches_reference =
+  QCheck.Test.make ~name:"sim pops match sorted-list reference"
+    ~count:10 QCheck.small_int
+    (fun seed ->
+       let sim = Sim.create () in
+       let sim_log =
+         drive
+           ~schedule:(fun k f ->
+               let tm = Sim.schedule_at sim k f in
+               fun () -> Sim.cancel tm)
+           ~now:(fun () -> Sim.now sim)
+           seed
+       in
+       Sim.run sim;
+       let r = Ref_sched.create () in
+       let ref_log =
+         drive ~schedule:(Ref_sched.schedule r)
+           ~now:(fun () -> r.Ref_sched.now) seed
+       in
+       Ref_sched.run r;
+       List.length !sim_log > 200
+       && !sim_log = !ref_log
+       && Sim.compactions sim > 0
+       && Sim.pending sim = 0)
+
 let test_sim_past_raises () =
   let sim = Sim.create () in
   ignore (Sim.schedule_at sim 10 (fun () -> ()));
@@ -175,6 +325,11 @@ let suite =
     Alcotest.test_case "sim: nested scheduling" `Quick
       test_sim_nested_schedule;
     Alcotest.test_case "sim: run until horizon" `Quick test_sim_until;
+    Alcotest.test_case "sim: horizon event survives and resumes" `Quick
+      test_sim_until_resume;
+    Alcotest.test_case "sim: cancelled-timer accounting" `Quick
+      test_sim_cancel_accounting;
+    QCheck_alcotest.to_alcotest prop_sim_matches_reference;
     Alcotest.test_case "sim: past scheduling raises" `Quick
       test_sim_past_raises;
     Alcotest.test_case "units: tx time" `Quick test_units_tx_time;

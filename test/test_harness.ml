@@ -49,6 +49,28 @@ let test_runner_seed_changes_result () =
   check Alcotest.bool "different seed, different run" true
     (run 1 <> run 2)
 
+(* Determinism guard for the scheduler rework: a scaled-down fig8-style
+   run (testbed fabric, web-search workload) repeated with the same seed
+   must reproduce the full FCT summary, the events-processed count and
+   the fabric-wide drop/mark totals, for every scheme fig8 sweeps. *)
+let test_fig8_determinism () =
+  let cfg = Config.testbed ~n_flows:60 ~load:0.5 () in
+  List.iter
+    (fun scheme ->
+       let snap () =
+         let r = Runner.run cfg scheme in
+         (r.Runner.summary, r.Runner.events, r.Runner.drops,
+          r.Runner.marks)
+       in
+       let (s1, e1, d1, m1) = snap () and (s2, e2, d2, m2) = snap () in
+       let name = scheme.Schemes.s_name in
+       check Alcotest.bool (name ^ ": identical fct summary") true
+         (s1 = s2);
+       check Alcotest.int (name ^ ": identical events") e1 e2;
+       check Alcotest.int (name ^ ": identical drops") d1 d2;
+       check Alcotest.int (name ^ ": identical marks") m1 m2)
+    Schemes.testbed_set
+
 let test_runner_incast () =
   let cfg = tiny_cfg ~pattern:(Config.Incast { n_senders = 8 }) () in
   let r = Runner.run cfg Schemes.ppt in
@@ -141,6 +163,8 @@ let suite =
     Alcotest.test_case "runner: all schemes complete" `Slow
       test_runner_completes_all_schemes;
     Alcotest.test_case "runner: determinism" `Quick test_runner_determinism;
+    Alcotest.test_case "runner: fig8 determinism guard" `Slow
+      test_fig8_determinism;
     Alcotest.test_case "runner: seed sensitivity" `Quick
       test_runner_seed_changes_result;
     Alcotest.test_case "runner: incast pattern" `Quick test_runner_incast;

@@ -182,6 +182,211 @@ let prop_queue_byte_accounting =
        !sum = enqueued && Prio_queue.bytes q = 0
        && Prio_queue.lp_bytes q = 0)
 
+(* --- queue equivalence ------------------------------------------------ *)
+
+(* The pre-optimization queue discipline — one [Queue.t] per priority
+   and a linear scan on dequeue — kept verbatim as the semantic
+   reference for the ring-buffer/bitmask implementation. *)
+module Ref_pq = struct
+  open Prio_queue
+
+  type t = {
+    cfg : config;
+    queues : Packet.t Queue.t array;
+    qbytes : int array;
+    mutable bytes : int;
+    mutable lp_bytes : int;
+    mutable enq_pkts : int;
+    mutable drop_pkts : int;
+    mutable drop_hp_pkts : int;
+    mutable drop_lp_pkts : int;
+    mutable drop_bytes : int;
+    mutable trim_pkts : int;
+    mutable mark_pkts : int;
+  }
+
+  let create cfg =
+    { cfg;
+      queues = Array.init n_prios (fun _ -> Queue.create ());
+      qbytes = Array.make n_prios 0;
+      bytes = 0; lp_bytes = 0;
+      enq_pkts = 0; drop_pkts = 0; drop_hp_pkts = 0; drop_lp_pkts = 0;
+      drop_bytes = 0; trim_pkts = 0; mark_pkts = 0 }
+
+  let push t (p : Packet.t) =
+    let prio = max 0 (min (n_prios - 1) p.Packet.prio) in
+    Queue.push p t.queues.(prio);
+    t.qbytes.(prio) <- t.qbytes.(prio) + p.Packet.wire;
+    t.bytes <- t.bytes + p.Packet.wire;
+    if prio >= lp_band_start then
+      t.lp_bytes <- t.lp_bytes + p.Packet.wire;
+    t.enq_pkts <- t.enq_pkts + 1;
+    if p.Packet.ecn_capable then begin
+      match t.cfg.mark_thresholds.(prio) with
+      | Some k ->
+        let occ =
+          match t.cfg.mark_basis with
+          | Port_occupancy -> t.bytes
+          | Queue_occupancy -> t.qbytes.(prio)
+        in
+        if occ > k then begin
+          if not p.Packet.ecn_ce then t.mark_pkts <- t.mark_pkts + 1;
+          p.Packet.ecn_ce <- true
+        end
+      | None -> ()
+    end
+
+  let drop t (p : Packet.t) =
+    t.drop_pkts <- t.drop_pkts + 1;
+    if p.Packet.prio >= lp_band_start then
+      t.drop_lp_pkts <- t.drop_lp_pkts + 1
+    else t.drop_hp_pkts <- t.drop_hp_pkts + 1;
+    t.drop_bytes <- t.drop_bytes + p.Packet.wire
+
+  let enqueue t (p : Packet.t) =
+    let fits extra = t.bytes + extra <= t.cfg.buffer_bytes in
+    let dt_fits (p : Packet.t) =
+      match t.cfg.dt_alphas with
+      | None -> true
+      | Some _ when p.Packet.sel_drop -> true
+      | Some alphas ->
+        let prio = max 0 (min (n_prios - 1) p.Packet.prio) in
+        let free = float_of_int (t.cfg.buffer_bytes - t.bytes) in
+        float_of_int (t.qbytes.(prio) + p.Packet.wire)
+        <= alphas.(prio) *. free
+    in
+    let lp_fits extra =
+      p.Packet.prio < lp_band_start
+      || (match t.cfg.lp_buffer_cap with
+          | None -> true
+          | Some cap -> t.lp_bytes + extra <= cap)
+    in
+    let sel_dropped =
+      p.Packet.sel_drop
+      && (match t.cfg.sel_drop_threshold with
+          | Some k -> t.bytes + p.Packet.wire > k
+          | None -> false)
+    in
+    if sel_dropped then begin drop t p; Dropped end
+    else if fits p.Packet.wire && lp_fits p.Packet.wire && dt_fits p
+    then begin push t p; Enqueued end
+    else if t.cfg.trim && p.Packet.kind = Packet.Data
+            && not p.Packet.trimmed
+    then begin
+      p.Packet.trimmed <- true;
+      p.Packet.wire <- trim_wire_bytes;
+      p.Packet.prio <- 0;
+      if fits p.Packet.wire then begin
+        t.trim_pkts <- t.trim_pkts + 1;
+        push t p;
+        Trimmed
+      end else begin drop t p; Dropped end
+    end
+    else begin drop t p; Dropped end
+
+  let dequeue t =
+    let rec find prio =
+      if prio >= n_prios then None
+      else if Queue.is_empty t.queues.(prio) then find (prio + 1)
+      else begin
+        let p = Queue.pop t.queues.(prio) in
+        t.qbytes.(prio) <- t.qbytes.(prio) - p.Packet.wire;
+        t.bytes <- t.bytes - p.Packet.wire;
+        if prio >= lp_band_start then
+          t.lp_bytes <- t.lp_bytes - p.Packet.wire;
+        Some p
+      end
+    in
+    find 0
+end
+
+(* An op is either a dequeue or an enqueue of a packet described by
+   (prio 0-9 to exercise clamping, payload, flag bits: 1 = ecn-capable,
+   2 = sel_drop, 4 = Ack instead of Data). Both implementations replay
+   the same ops on their own packet copies (enqueue mutates packets);
+   [seq] identifies packets across the two runs. *)
+let replay ~enqueue ~dequeue ops =
+  let obs = ref [] in
+  let note x = obs := x :: !obs in
+  List.iteri
+    (fun i op ->
+       match op with
+       | None -> (
+           match dequeue () with
+           | None -> note (-1, 0, 0, 0)
+           | Some (p : Packet.t) ->
+             note
+               (p.Packet.seq, p.Packet.prio, p.Packet.wire,
+                (if p.Packet.trimmed then 2 else 0)
+                lor (if p.Packet.ecn_ce then 1 else 0)))
+       | Some (prio, payload, flags) ->
+         let p =
+           mk_pkt ~prio ~payload
+             ~ecn:(flags land 1 <> 0)
+             ~sel_drop:(flags land 2 <> 0)
+             ~kind:(if flags land 4 <> 0 then Packet.Ack else Packet.Data)
+             ~seq:i ()
+         in
+         note
+           ( (match enqueue p with
+              | Prio_queue.Enqueued -> 100
+              | Prio_queue.Dropped -> 101
+              | Prio_queue.Trimmed -> 102),
+             0, 0, 0 ))
+    ops;
+  List.rev !obs
+
+let equiv_configs =
+  [ qcfg ~buffer:8_000 ();
+    qcfg ~buffer:8_000
+      ~thresholds:(Prio_queue.mark_bands ~hp:(Some 3_000) ~lp:(Some 1_000))
+      ();
+    { (qcfg ~buffer:8_000
+         ~thresholds:
+           (Prio_queue.mark_bands ~hp:(Some 2_000) ~lp:(Some 1_000)) ())
+      with Prio_queue.mark_basis = Prio_queue.Queue_occupancy };
+    qcfg ~buffer:6_000 ~trim:true ();
+    qcfg ~buffer:8_000 ~sel_drop:2_000 ();
+    qcfg ~buffer:8_000 ~lp_cap:2_500 ();
+    { (qcfg ~buffer:8_000 ()) with
+      Prio_queue.dt_alphas =
+        Some (Prio_queue.dt_bands ~hp:8.0 ~lp:1.0) } ]
+
+let prop_queue_matches_reference =
+  QCheck.Test.make
+    ~name:"ring/bitmask queue matches 8-FIFO linear-scan reference"
+    ~count:100
+    QCheck.(
+      list
+        (option (triple (int_bound 9) (int_range 1 1460) (int_bound 7))))
+    (fun ops ->
+       List.for_all
+         (fun cfg ->
+            let q = Prio_queue.create cfg in
+            let r = Ref_pq.create cfg in
+            let t_new =
+              replay
+                ~enqueue:(Prio_queue.enqueue q)
+                ~dequeue:(fun () -> Prio_queue.dequeue q)
+                ops
+            in
+            let t_ref =
+              replay ~enqueue:(Ref_pq.enqueue r)
+                ~dequeue:(fun () -> Ref_pq.dequeue r)
+                ops
+            in
+            t_new = t_ref
+            && Prio_queue.bytes q = r.Ref_pq.bytes
+            && Prio_queue.lp_bytes q = r.Ref_pq.lp_bytes
+            && Prio_queue.drops q = r.Ref_pq.drop_pkts
+            && Prio_queue.drops_hp q = r.Ref_pq.drop_hp_pkts
+            && Prio_queue.drops_lp q = r.Ref_pq.drop_lp_pkts
+            && Prio_queue.drop_bytes q = r.Ref_pq.drop_bytes
+            && Prio_queue.trims q = r.Ref_pq.trim_pkts
+            && Prio_queue.marks q = r.Ref_pq.mark_pkts
+            && Prio_queue.enqueues q = r.Ref_pq.enq_pkts)
+         equiv_configs)
+
 (* --- fabric ----------------------------------------------------------- *)
 
 let test_star_delivery () =
@@ -361,6 +566,7 @@ let suite =
     Alcotest.test_case "queue: dynamic threshold" `Quick
       test_dynamic_threshold;
     QCheck_alcotest.to_alcotest prop_queue_byte_accounting;
+    QCheck_alcotest.to_alcotest prop_queue_matches_reference;
     Alcotest.test_case "net: star delivery" `Quick test_star_delivery;
     Alcotest.test_case "net: serialization timing" `Quick
       test_serialization_timing;
