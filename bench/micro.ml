@@ -80,6 +80,17 @@ let small_sim factory () =
       done;
       Sim.run ~until:(Units.sec 1) sim)
 
+(* The same end-to-end run with a ring sink installed: the cost of the
+   trace events themselves. The untraced [small_sim] numbers above are
+   the guard for the tracing-off hot path — every instrumentation site
+   is still compiled in there, behind the single [!Trace.enabled]
+   load. *)
+let small_sim_traced factory () =
+  let inner = Staged.unstage (small_sim factory ()) in
+  Staged.stage (fun () ->
+      let ring = Ppt_obs.Trace.Ring.create ~capacity:65536 () in
+      Ppt_obs.Trace.with_sink (Ppt_obs.Trace.Ring.sink ring) inner)
+
 let tests =
   Test.make_grouped ~name:"micro" ~fmt:"%s %s"
     [ Test.make ~name:"heap: 256 push+pop" (heap_push_pop ());
@@ -89,7 +100,9 @@ let tests =
       Test.make ~name:"sim: 8-flow dctcp run"
         (small_sim (Ppt_transport.Dctcp.make ()) ());
       Test.make ~name:"sim: 8-flow ppt run"
-        (small_sim (Ppt_core.Ppt.make ()) ()) ]
+        (small_sim (Ppt_core.Ppt.make ()) ());
+      Test.make ~name:"sim: 8-flow dctcp run traced"
+        (small_sim_traced (Ppt_transport.Dctcp.make ()) ()) ]
 
 (* Measure every test and return (name, ns/iteration) sorted by name;
    nan when bechamel could not produce an estimate. *)

@@ -148,6 +148,22 @@ let run_cmd =
     Arg.(value & opt (some string) None
          & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
+  let trace_events_arg =
+    let doc =
+      "Write a structured event trace (packet lifecycle, transport \
+       state, probes) as JSONL to $(docv); inspect it with \
+       $(b,ppt_trace)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let probe_us_arg =
+    let doc =
+      "Queue/link/DT probe sampling interval in microseconds (with \
+       $(b,--trace))."
+    in
+    Arg.(value & opt int 100 & info [ "probe-interval" ] ~docv:"US" ~doc)
+  in
   let read_file path =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -156,12 +172,19 @@ let run_cmd =
     s
   in
   let run topo scheme workload load flows seed full incast dump
-      trace_in trace_out verbose =
+      trace_in trace_out trace_events probe_us verbose =
     setup_logs verbose;
     match List.assoc_opt scheme scheme_names with
     | None -> `Error (false, "unknown scheme: " ^ scheme)
     | Some s ->
       let cfg = config_of ~topo ~workload ~load ~flows ~seed ~full ~incast in
+      let cfg =
+        match trace_events with
+        | None -> cfg
+        | Some path ->
+          Config.with_trace ~path
+            ~probe_interval:(Ppt_engine.Units.us probe_us) cfg
+      in
       let trace =
         Option.map
           (fun path -> Ppt_workload.Trace.of_csv (read_file path))
@@ -169,6 +192,9 @@ let run_cmd =
       in
       let r = Runner.run ?trace cfg s in
       pp_result r;
+      (match trace_events with
+       | Some path -> Format.printf "event trace written to %s@." path
+       | None -> ());
       (match trace_out with
        | Some path ->
          let oc = open_out path in
@@ -186,7 +212,8 @@ let run_cmd =
   let term =
     Term.(ret (const run $ topo_arg $ scheme_arg $ workload_arg
                $ load_arg $ flows_arg $ seed_arg $ full_arg $ incast_arg
-               $ dump_arg $ trace_in_arg $ trace_out_arg $ verbose_arg))
+               $ dump_arg $ trace_in_arg $ trace_out_arg
+               $ trace_events_arg $ probe_us_arg $ verbose_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one transport over one workload") term
 

@@ -1,0 +1,135 @@
+(* ppt_trace: inspect JSONL event traces written by `ppt_sim run
+   --trace` (or any Ppt_obs.Trace.jsonl_sink).
+
+     ppt_trace summary out.jsonl
+     ppt_trace diff a.jsonl b.jsonl
+
+   `summary` prints event counts, per-port occupancy peaks and the
+   mark rate; `diff` compares two traces event for event (the
+   encoding is canonical, so equal events are equal lines) and, when
+   they diverge, shows the first differing line plus the per-event
+   count deltas. *)
+
+open Cmdliner
+open Ppt_obs
+
+let fold_lines path f init =
+  let ic = open_in path in
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> close_in ic; acc
+    | line -> go (lineno + 1) (f lineno line acc)
+  in
+  go 1 init
+
+let parse_or_fail path lineno line =
+  match Event.of_json_line line with
+  | Some tev -> tev
+  | None ->
+    Printf.eprintf "%s:%d: unparseable event: %s\n" path lineno line;
+    exit 2
+
+(* ---- summary ---- *)
+
+let summarize path =
+  let events =
+    List.rev
+      (fold_lines path
+         (fun lineno line acc -> parse_or_fail path lineno line :: acc)
+         [])
+  in
+  Summary.of_list events
+
+let summary_cmd =
+  let file_arg =
+    let doc = "JSONL event trace to summarize." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run path =
+    Format.printf "%a@." Summary.pp (summarize path);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Summarize one event trace")
+    Term.(ret (const run $ file_arg))
+
+(* ---- diff ---- *)
+
+let read_lines path =
+  List.rev (fold_lines path (fun _ line acc -> line :: acc) [])
+
+let count_deltas a b =
+  let tags tr =
+    List.fold_left
+      (fun acc (_, ev) ->
+         let tag = Event.tag ev in
+         let n = try List.assoc tag acc with Not_found -> 0 in
+         (tag, n + 1) :: List.remove_assoc tag acc)
+      [] tr
+  in
+  let ta = tags a and tb = tags b in
+  let all =
+    List.sort_uniq compare (List.map fst ta @ List.map fst tb)
+  in
+  List.filter_map
+    (fun tag ->
+       let get t = try List.assoc tag t with Not_found -> 0 in
+       let na = get ta and nb = get tb in
+       if na = nb then None else Some (tag, na, nb))
+    all
+
+let diff_cmd =
+  let file_a =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"A" ~doc:"First trace.")
+  in
+  let file_b =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"B" ~doc:"Second trace.")
+  in
+  let run pa pb =
+    let la = read_lines pa and lb = read_lines pb in
+    let rec first_diff i = function
+      | [], [] -> None
+      | a :: ra, b :: rb ->
+        if String.equal a b then first_diff (i + 1) (ra, rb)
+        else Some (i, Some a, Some b)
+      | a :: _, [] -> Some (i, Some a, None)
+      | [], b :: _ -> Some (i, None, Some b)
+    in
+    match first_diff 1 (la, lb) with
+    | None ->
+      Format.printf "traces identical (%d events)@." (List.length la);
+      `Ok ()
+    | Some (lineno, ea, eb) ->
+      Format.printf "traces differ at line %d:@." lineno;
+      Format.printf "  %s: %s@." pa
+        (Option.value ea ~default:"<end of trace>");
+      Format.printf "  %s: %s@." pb
+        (Option.value eb ~default:"<end of trace>");
+      let parse path =
+        List.rev
+          (fold_lines path
+             (fun l line acc -> parse_or_fail path l line :: acc)
+             [])
+      in
+      let deltas = count_deltas (parse pa) (parse pb) in
+      if deltas <> [] then begin
+        Format.printf "event-count deltas:@.";
+        List.iter
+          (fun (tag, na, nb) ->
+             Format.printf "  %-12s %d vs %d@." tag na nb)
+          deltas
+      end;
+      Format.printf "(%d vs %d events total)@." (List.length la)
+        (List.length lb);
+      `Error (false, "traces differ")
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Compare two event traces event for event")
+    Term.(ret (const run $ file_a $ file_b))
+
+let () =
+  let doc = "Summarize and diff PPT structured event traces" in
+  let info = Cmd.info "ppt_trace" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ summary_cmd; diff_cmd ]))

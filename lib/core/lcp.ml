@@ -88,6 +88,11 @@ let close_loop t =
           (Reliable.flow t.snd).Flow.id Units.pp_time (now t)
           (t.view.Dctcp.alpha ()));
     t.opened <- false;
+    if !Ppt_obs.Trace.enabled then
+      Ppt_obs.Trace.emit (now t)
+        (Ppt_obs.Event.Loop_switch
+           { flow = (Reliable.flow t.snd).Flow.id; active = false;
+             window = 0 });
     cancel_pace t;
     cancel_watchdog t;
     (* Re-arm the case-2 detector relative to the present congestion
@@ -176,6 +181,11 @@ let open_loop t ~initial_window =
             (Reliable.flow t.snd).Flow.id (t.loops_opened + 1)
             Units.pp_time (now t) initial_window);
       t.opened <- true;
+      if !Ppt_obs.Trace.enabled then
+        Ppt_obs.Trace.emit (now t)
+          (Ppt_obs.Event.Loop_switch
+             { flow = (Reliable.flow t.snd).Flow.id; active = true;
+               window = initial_window });
       t.loops_opened <- t.loops_opened + 1;
       t.last_activity <- now t;
       arm_watchdog t;

@@ -33,6 +33,15 @@ type pattern_kind =
   | All_to_all
   | Incast of { n_senders : int }
 
+(* Structured event tracing (lib/obs). [trace_path] writes the run's
+   events as JSONL; [None] keeps whatever sink the caller installed
+   (e.g. an in-memory ring in tests). [probe_interval] additionally
+   samples per-port occupancy / link utilization / DT thresholds. *)
+type trace_cfg = {
+  trace_path : string option;
+  probe_interval : Units.time option;
+}
+
 type t = {
   name : string;
   topo : topo_kind;
@@ -49,6 +58,7 @@ type t = {
   load : float;
   n_flows : int;
   seed : int;
+  trace : trace_cfg option;        (* None = tracing off *)
 }
 
 let n_hosts t =
@@ -62,6 +72,9 @@ let with_workload ?name cdf t =
   in
   { t with workload = cdf; workload_name }
 
+let with_trace ?path ?probe_interval t =
+  { t with trace = Some { trace_path = path; probe_interval } }
+
 (* §6.1 testbed: Table 3. *)
 let testbed ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
   { name = "testbed";
@@ -73,7 +86,7 @@ let testbed ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
     sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
     rto_min = Units.ms 10;
     workload = Dists.web_search; workload_name = "web-search";
-    pattern = All_to_all; load; n_flows; seed }
+    pattern = All_to_all; load; n_flows; seed; trace = None }
 
 (* §6.2 oversubscribed fabric: 40/100G, 120KB port buffer, ECN 96/86KB. *)
 let oversub ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
@@ -92,7 +105,7 @@ let oversub ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
     sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
     rto_min = Units.ms 1;
     workload = Dists.web_search; workload_name = "web-search";
-    pattern = All_to_all; load; n_flows; seed }
+    pattern = All_to_all; load; n_flows; seed; trace = None }
 
 (* Fig. 22: the same shape at 100/400G. *)
 let fast ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
@@ -128,7 +141,7 @@ let non_oversub ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1)
     sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
     rto_min = Units.ms 1;
     workload = Dists.web_search; workload_name = "web-search";
-    pattern = All_to_all; load; n_flows; seed }
+    pattern = All_to_all; load; n_flows; seed; trace = None }
 
 (* Figs. 1/20/28/29: two senders, one receiver, 40G bottleneck.
 
@@ -150,4 +163,5 @@ let dumbbell ?(n_flows = 400) ?(load = 0.5) ?(seed = 1)
     sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
     rto_min = Units.ms 1;
     workload = Dists.web_search; workload_name = "web-search";
-    pattern = Incast { n_senders = 2 }; load; n_flows; seed }
+    pattern = Incast { n_senders = 2 }; load; n_flows; seed;
+    trace = None }

@@ -114,11 +114,36 @@ let run ?lp_buffer_cap ?trace ?(observe = fun _ _ -> ())
   List.iter
     (fun spec ->
        ignore (Sim.schedule_at sim spec.Trace.start (fun () ->
-           ctx.Context.started <- ctx.Context.started + 1;
-           transport.Endpoint.t_start (Flow.of_spec spec))))
+           let flow = Flow.of_spec spec in
+           Context.flow_started ctx flow;
+           transport.Endpoint.t_start flow)))
     trace;
   observe ctx topo;
-  Sim.run ~until:horizon sim;
+  (* Structured event tracing (lib/obs): when the config asks for it,
+     write the run's events as JSONL and/or schedule the port probes.
+     Without a [trace_path] any sink the caller already installed
+     (e.g. a test's in-memory ring) is left in place. *)
+  let trace_out =
+    match cfg.Config.trace with
+    | None -> None
+    | Some tc ->
+      (match tc.Config.probe_interval with
+       | Some interval ->
+         Net.start_probes ctx.Context.net ~interval ~until:horizon
+       | None -> ());
+      (match tc.Config.trace_path with
+       | None -> None
+       | Some path ->
+         let oc = open_out path in
+         Ppt_obs.Trace.install (Ppt_obs.Trace.jsonl_sink oc);
+         Some oc)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        match trace_out with
+        | Some oc -> Ppt_obs.Trace.clear (); close_out oc
+        | None -> ())
+    (fun () -> Sim.run ~until:horizon sim);
   total_events := !total_events + Sim.events_processed sim;
   let summary = Fct.summarize ctx.Context.fct in
   let records = Fct.records ctx.Context.fct in

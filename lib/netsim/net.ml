@@ -70,6 +70,63 @@ let stamp_int t (port : port) (p : Packet.t) =
         hop_rate = port.rate }
       :: p.int_tel
 
+(* --- trace emission (Ppt_obs) -------------------------------------
+
+   All queue-lifecycle events are emitted here rather than inside
+   [Prio_queue]: the fabric knows the clock and the port identity, and
+   keeping the queue discipline trace-free keeps its hot path
+   untouched. Every site guards on [!Trace.enabled], so with tracing
+   off the datapath pays one load + branch and allocates nothing. *)
+
+module Trace = Ppt_obs.Trace
+module Ev = Ppt_obs.Event
+
+let kind_tag : Packet.kind -> char = function
+  | Packet.Data -> 'D' | Ack -> 'A' | Grant -> 'G' | Pull -> 'P'
+  | Nack -> 'N' | Ctrl -> 'C'
+
+let clamp_prio p = max 0 (min (Prio_queue.n_prios - 1) p)
+
+(* The cold half of a traced enqueue: emit the verdict event, plus an
+   [Ecn_mark] when the queue freshly set CE on this packet. *)
+let trace_enqueue t (port : port) (p : Packet.t) verdict ~was_ce =
+  let ts = Sim.now t.sim in
+  let occ = Prio_queue.bytes port.q in
+  let node = port.owner and pix = port.pix in
+  (* after a trim, [p.prio] already reflects the header's new queue *)
+  let prio = clamp_prio p.prio in
+  (match verdict with
+   | Prio_queue.Enqueued ->
+     Trace.emit ts
+       (Ev.Enqueue
+          { node; port = pix; prio; flow = p.flow; seq = p.seq;
+            kind = kind_tag p.kind; size = p.wire; occ })
+   | Prio_queue.Trimmed ->
+     Trace.emit ts
+       (Ev.Trim
+          { node; port = pix; prio; flow = p.flow; seq = p.seq;
+            cut = p.payload; occ })
+   | Prio_queue.Dropped ->
+     Trace.emit ts
+       (Ev.Drop
+          { node; port = pix; prio; flow = p.flow; seq = p.seq;
+            kind = kind_tag p.kind; size = p.wire; occ }));
+  if p.ecn_ce && not was_ce then
+    match Prio_queue.mark_threshold port.q prio with
+    | Some threshold ->
+      Trace.emit ts
+        (Ev.Ecn_mark
+           { node; port = pix; prio; flow = p.flow; seq = p.seq; occ;
+             threshold })
+    | None -> ()
+
+let trace_dequeue t (port : port) (p : Packet.t) =
+  Trace.emit (Sim.now t.sim)
+    (Ev.Dequeue
+       { node = port.owner; port = port.pix; prio = clamp_prio p.prio;
+         flow = p.flow; seq = p.seq; kind = kind_tag p.kind;
+         size = p.wire; occ = Prio_queue.bytes port.q })
+
 let deliver t (p : Packet.t) =
   match Hashtbl.find_opt t.handlers (p.dst, p.flow) with
   | Some handler -> t.delivered <- t.delivered + 1; handler p
@@ -82,6 +139,7 @@ let rec start_tx t (port : port) =
   match Prio_queue.dequeue port.q with
   | None -> port.busy <- false
   | Some p ->
+    if !Trace.enabled then trace_dequeue t port p;
     port.busy <- true;
     let tx = Units.tx_time ~rate:port.rate ~bytes:p.wire in
     port.tx_bytes <- port.tx_bytes + p.wire;
@@ -94,9 +152,18 @@ let rec start_tx t (port : port) =
 
 and send_on_port t (port : port) (p : Packet.t) =
   stamp_int t port p;
-  match Prio_queue.enqueue port.q p with
-  | Prio_queue.Dropped -> ()
-  | Enqueued | Trimmed -> if not port.busy then start_tx t port
+  if !Trace.enabled then begin
+    let was_ce = p.ecn_ce in
+    let verdict = Prio_queue.enqueue port.q p in
+    trace_enqueue t port p verdict ~was_ce;
+    match verdict with
+    | Prio_queue.Dropped -> ()
+    | Enqueued | Trimmed -> if not port.busy then start_tx t port
+  end
+  else
+    match Prio_queue.enqueue port.q p with
+    | Prio_queue.Dropped -> ()
+    | Enqueued | Trimmed -> if not port.busy then start_tx t port
 
 and receive t nid (p : Packet.t) =
   let node = t.nodes.(nid) in
@@ -156,3 +223,59 @@ let total_tx_bytes t =
   Array.fold_left (fun acc n ->
       Array.fold_left (fun acc p -> acc + p.tx_bytes) acc n.ports)
     0 t.nodes
+
+(* Periodic probes: sample every port's queue occupancy, the link
+   utilization over the last interval, and the current
+   dynamic-threshold admission limits. The tick reschedules itself
+   only while the clock stays at or below [until], so runs that drain
+   to quiescence still terminate. *)
+let start_probes t ~interval ~until =
+  if interval <= 0 then invalid_arg "Net.start_probes: interval <= 0";
+  let last_tx =
+    Array.map (fun n -> Array.map (fun p -> p.tx_bytes) n.ports) t.nodes
+  in
+  let last_ts = ref (Sim.now t.sim) in
+  let rec tick () =
+    let now = Sim.now t.sim in
+    let dt = now - !last_ts in
+    if !Trace.enabled then
+      Array.iter
+        (fun n ->
+           Array.iter
+             (fun p ->
+                Trace.emit now
+                  (Ev.Probe_queue
+                     { node = n.nid; port = p.pix;
+                       occ = Prio_queue.bytes p.q;
+                       lp_occ = Prio_queue.lp_bytes p.q });
+                let sent = p.tx_bytes - last_tx.(n.nid).(p.pix) in
+                let cap =
+                  if dt <= 0 then 0
+                  else Units.bytes_in ~rate:p.rate ~time:dt
+                in
+                Trace.emit now
+                  (Ev.Probe_link
+                     { node = n.nid; port = p.pix;
+                       tx_bytes = p.tx_bytes;
+                       util_ppm =
+                         (if cap = 0 then 0
+                          else sent * 1_000_000 / cap) });
+                match Prio_queue.dt_thresholds p.q with
+                | Some (hp, lp) ->
+                  Trace.emit now
+                    (Ev.Probe_dt
+                       { node = n.nid; port = p.pix; hp; lp })
+                | None -> ())
+             n.ports)
+        t.nodes;
+    Array.iter
+      (fun n ->
+         Array.iter (fun p -> last_tx.(n.nid).(p.pix) <- p.tx_bytes)
+           n.ports)
+      t.nodes;
+    last_ts := now;
+    if now + interval <= until then
+      ignore (Sim.schedule t.sim ~after:interval tick)
+  in
+  if Sim.now t.sim + interval <= until then
+    ignore (Sim.schedule t.sim ~after:interval tick)

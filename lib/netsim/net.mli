@@ -56,6 +56,15 @@ val unregister : t -> host:int -> flow:int -> unit
 val send : t -> Packet.t -> unit
 (** Inject a packet at its source host's NIC. *)
 
+val start_probes : t -> interval:Units.time -> until:Units.time -> unit
+(** Schedule a recurring sampler that emits
+    [Probe_queue]/[Probe_link]/[Probe_dt] trace events for every port
+    (see {!Ppt_obs.Event}) each [interval], while the clock stays at or
+    below [until]. Samples are only emitted while a trace sink is
+    installed; the fabric's own packet-lifecycle events
+    ([enqueue]/[dequeue]/[ecn_mark]/[drop]/[trim]) are emitted
+    unconditionally whenever tracing is enabled. *)
+
 val delivered : t -> int
 val undeliverable : t -> int
 val total_drops : t -> int

@@ -142,6 +142,19 @@ let hp_bytes t = t.bytes - t.lp_bytes
 let queue_bytes t prio = t.qbytes.(prio)
 let is_empty t = t.bytes = 0
 
+let buffer_bytes t = t.cfg.buffer_bytes
+
+let mark_threshold t prio =
+  t.cfg.mark_thresholds.(max 0 (min (n_prios - 1) prio))
+
+let dt_thresholds t =
+  if Array.length t.dt_alphas = 0 then None
+  else begin
+    let free = float_of_int (t.cfg.buffer_bytes - t.bytes) in
+    Some (int_of_float (t.dt_alphas.(0) *. free),
+          int_of_float (t.dt_alphas.(lp_band_start) *. free))
+  end
+
 let drops t = t.drop_pkts
 let drops_hp t = t.drop_hp_pkts
 let drops_lp t = t.drop_lp_pkts

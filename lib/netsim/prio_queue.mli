@@ -51,6 +51,17 @@ val hp_bytes : t -> int
 val queue_bytes : t -> int -> int
 val is_empty : t -> bool
 
+val buffer_bytes : t -> int
+(** Configured shared-buffer capacity. *)
+
+val mark_threshold : t -> int -> int option
+(** Configured ECN threshold of priority [prio] (clamped). *)
+
+val dt_thresholds : t -> (int * int) option
+(** Current dynamic-threshold admission limits [(hp, lp)] of the two
+    bands — [alpha * (buffer - occupancy)] — or [None] when DT buffer
+    sharing is off. *)
+
 val drops : t -> int
 val drops_hp : t -> int
 val drops_lp : t -> int

@@ -1,0 +1,249 @@
+(* Structured trace events and their canonical JSONL encoding.
+
+   The encoding is deliberately boring: one flat JSON object per line,
+   fixed key order, integer values (utilization is parts-per-million so
+   no floats appear). Equal events therefore serialize to equal bytes,
+   which is what lets golden-trace tests and `ppt_trace diff` compare
+   traces textually. The parser only has to read back what
+   [to_json_line] writes; it is not a general JSON parser. *)
+
+type t =
+  | Enqueue of {
+      node : int; port : int; prio : int;
+      flow : int; seq : int; kind : char; size : int; occ : int;
+    }
+  | Dequeue of {
+      node : int; port : int; prio : int;
+      flow : int; seq : int; kind : char; size : int; occ : int;
+    }
+  | Ecn_mark of {
+      node : int; port : int; prio : int;
+      flow : int; seq : int; occ : int; threshold : int;
+    }
+  | Drop of {
+      node : int; port : int; prio : int;
+      flow : int; seq : int; kind : char; size : int; occ : int;
+    }
+  | Trim of {
+      node : int; port : int; prio : int;
+      flow : int; seq : int; cut : int; occ : int;
+    }
+  | Cwnd_update of { flow : int; cwnd : int }
+  | Loop_switch of { flow : int; active : bool; window : int }
+  | Rto_fire of { flow : int; backoff : int }
+  | Retransmit of { flow : int; seq : int; loop : char }
+  | Flow_start of { flow : int; size : int }
+  | Flow_done of { flow : int; size : int; fct : int }
+  | Probe_queue of { node : int; port : int; occ : int; lp_occ : int }
+  | Probe_link of {
+      node : int; port : int; tx_bytes : int; util_ppm : int;
+    }
+  | Probe_dt of { node : int; port : int; hp : int; lp : int }
+
+let tag = function
+  | Enqueue _ -> "enqueue"
+  | Dequeue _ -> "dequeue"
+  | Ecn_mark _ -> "ecn_mark"
+  | Drop _ -> "drop"
+  | Trim _ -> "trim"
+  | Cwnd_update _ -> "cwnd_update"
+  | Loop_switch _ -> "loop_switch"
+  | Rto_fire _ -> "rto_fire"
+  | Retransmit _ -> "retransmit"
+  | Flow_start _ -> "flow_start"
+  | Flow_done _ -> "flow_done"
+  | Probe_queue _ -> "probe_queue"
+  | Probe_link _ -> "probe_link"
+  | Probe_dt _ -> "probe_dt"
+
+(* --- writer -------------------------------------------------------- *)
+
+let buf_int b key v =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b key;
+  Buffer.add_string b "\":";
+  Buffer.add_string b (string_of_int v)
+
+let buf_char b key v =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b key;
+  Buffer.add_string b "\":\"";
+  Buffer.add_char b v;
+  Buffer.add_char b '"'
+
+let buf_bool b key v =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b key;
+  Buffer.add_string b (if v then "\":true" else "\":false")
+
+let to_json_line ~ts ev =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"t\":";
+  Buffer.add_string b (string_of_int ts);
+  Buffer.add_string b ",\"ev\":\"";
+  Buffer.add_string b (tag ev);
+  Buffer.add_char b '"';
+  (match ev with
+   | Enqueue { node; port; prio; flow; seq; kind; size; occ }
+   | Dequeue { node; port; prio; flow; seq; kind; size; occ }
+   | Drop { node; port; prio; flow; seq; kind; size; occ } ->
+     buf_int b "node" node; buf_int b "port" port;
+     buf_int b "prio" prio; buf_int b "flow" flow;
+     buf_int b "seq" seq; buf_char b "kind" kind;
+     buf_int b "size" size; buf_int b "occ" occ
+   | Ecn_mark { node; port; prio; flow; seq; occ; threshold } ->
+     buf_int b "node" node; buf_int b "port" port;
+     buf_int b "prio" prio; buf_int b "flow" flow;
+     buf_int b "seq" seq; buf_int b "occ" occ;
+     buf_int b "threshold" threshold
+   | Trim { node; port; prio; flow; seq; cut; occ } ->
+     buf_int b "node" node; buf_int b "port" port;
+     buf_int b "prio" prio; buf_int b "flow" flow;
+     buf_int b "seq" seq; buf_int b "cut" cut; buf_int b "occ" occ
+   | Cwnd_update { flow; cwnd } ->
+     buf_int b "flow" flow; buf_int b "cwnd" cwnd
+   | Loop_switch { flow; active; window } ->
+     buf_int b "flow" flow; buf_bool b "active" active;
+     buf_int b "window" window
+   | Rto_fire { flow; backoff } ->
+     buf_int b "flow" flow; buf_int b "backoff" backoff
+   | Retransmit { flow; seq; loop } ->
+     buf_int b "flow" flow; buf_int b "seq" seq; buf_char b "loop" loop
+   | Flow_start { flow; size } ->
+     buf_int b "flow" flow; buf_int b "size" size
+   | Flow_done { flow; size; fct } ->
+     buf_int b "flow" flow; buf_int b "size" size; buf_int b "fct" fct
+   | Probe_queue { node; port; occ; lp_occ } ->
+     buf_int b "node" node; buf_int b "port" port;
+     buf_int b "occ" occ; buf_int b "lp_occ" lp_occ
+   | Probe_link { node; port; tx_bytes; util_ppm } ->
+     buf_int b "node" node; buf_int b "port" port;
+     buf_int b "tx_bytes" tx_bytes; buf_int b "util_ppm" util_ppm
+   | Probe_dt { node; port; hp; lp } ->
+     buf_int b "node" node; buf_int b "port" port;
+     buf_int b "hp" hp; buf_int b "lp" lp);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* --- parser -------------------------------------------------------- *)
+
+(* Raw value of ["key":<value>] in [line]: the substring after the
+   colon up to the next ',' or '}' (string values keep their quotes).
+   Only matches whole keys: the candidate must be preceded by '"'. *)
+let raw_field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let rec stop j in_str =
+      if j >= llen then j
+      else
+        match line.[j] with
+        | '"' -> stop (j + 1) (not in_str)
+        | (',' | '}') when not in_str -> j
+        | _ -> stop (j + 1) in_str
+    in
+    Some (String.sub line start (stop start false - start))
+
+let int_field line key =
+  match raw_field line key with
+  | None -> None
+  | Some s -> int_of_string_opt s
+
+let char_field line key =
+  match raw_field line key with
+  | Some s when String.length s = 3 && s.[0] = '"' && s.[2] = '"' ->
+    Some s.[1]
+  | _ -> None
+
+let bool_field line key =
+  match raw_field line key with
+  | Some "true" -> Some true
+  | Some "false" -> Some false
+  | _ -> None
+
+let str_field line key =
+  match raw_field line key with
+  | Some s when String.length s >= 2 && s.[0] = '"' ->
+    Some (String.sub s 1 (String.length s - 2))
+  | _ -> None
+
+let of_json_line line =
+  let ( let* ) o f = Option.bind o f in
+  let i k = int_field line k in
+  let queue_fields mk =
+    let* node = i "node" in let* port = i "port" in
+    let* prio = i "prio" in let* flow = i "flow" in
+    let* seq = i "seq" in let* kind = char_field line "kind" in
+    let* size = i "size" in let* occ = i "occ" in
+    Some (mk ~node ~port ~prio ~flow ~seq ~kind ~size ~occ)
+  in
+  let* ts = i "t" in
+  let* ev_tag = str_field line "ev" in
+  let* ev =
+    match ev_tag with
+    | "enqueue" ->
+      queue_fields (fun ~node ~port ~prio ~flow ~seq ~kind ~size ~occ ->
+          Enqueue { node; port; prio; flow; seq; kind; size; occ })
+    | "dequeue" ->
+      queue_fields (fun ~node ~port ~prio ~flow ~seq ~kind ~size ~occ ->
+          Dequeue { node; port; prio; flow; seq; kind; size; occ })
+    | "drop" ->
+      queue_fields (fun ~node ~port ~prio ~flow ~seq ~kind ~size ~occ ->
+          Drop { node; port; prio; flow; seq; kind; size; occ })
+    | "ecn_mark" ->
+      let* node = i "node" in let* port = i "port" in
+      let* prio = i "prio" in let* flow = i "flow" in
+      let* seq = i "seq" in let* occ = i "occ" in
+      let* threshold = i "threshold" in
+      Some (Ecn_mark { node; port; prio; flow; seq; occ; threshold })
+    | "trim" ->
+      let* node = i "node" in let* port = i "port" in
+      let* prio = i "prio" in let* flow = i "flow" in
+      let* seq = i "seq" in let* cut = i "cut" in let* occ = i "occ" in
+      Some (Trim { node; port; prio; flow; seq; cut; occ })
+    | "cwnd_update" ->
+      let* flow = i "flow" in let* cwnd = i "cwnd" in
+      Some (Cwnd_update { flow; cwnd })
+    | "loop_switch" ->
+      let* flow = i "flow" in
+      let* active = bool_field line "active" in
+      let* window = i "window" in
+      Some (Loop_switch { flow; active; window })
+    | "rto_fire" ->
+      let* flow = i "flow" in let* backoff = i "backoff" in
+      Some (Rto_fire { flow; backoff })
+    | "retransmit" ->
+      let* flow = i "flow" in let* seq = i "seq" in
+      let* loop = char_field line "loop" in
+      Some (Retransmit { flow; seq; loop })
+    | "flow_start" ->
+      let* flow = i "flow" in let* size = i "size" in
+      Some (Flow_start { flow; size })
+    | "flow_done" ->
+      let* flow = i "flow" in let* size = i "size" in
+      let* fct = i "fct" in
+      Some (Flow_done { flow; size; fct })
+    | "probe_queue" ->
+      let* node = i "node" in let* port = i "port" in
+      let* occ = i "occ" in let* lp_occ = i "lp_occ" in
+      Some (Probe_queue { node; port; occ; lp_occ })
+    | "probe_link" ->
+      let* node = i "node" in let* port = i "port" in
+      let* tx_bytes = i "tx_bytes" in let* util_ppm = i "util_ppm" in
+      Some (Probe_link { node; port; tx_bytes; util_ppm })
+    | "probe_dt" ->
+      let* node = i "node" in let* port = i "port" in
+      let* hp = i "hp" in let* lp = i "lp" in
+      Some (Probe_dt { node; port; hp; lp })
+    | _ -> None
+  in
+  Some (ts, ev)
+
+let pp ppf ev = Fmt.string ppf (to_json_line ~ts:0 ev)

@@ -1,0 +1,106 @@
+(* Trace aggregation. Association lists keep the type purely
+   functional and deterministic to print; the tag list is bounded by
+   the number of event kinds and the occupancy list by the number of
+   ports, so the O(n) updates do not matter at trace scale. *)
+
+type t = {
+  events : int;
+  by_tag : (string * int) list;
+  max_occ : ((int * int) * int) list;
+  data_enqueues : int;
+  marks : int;
+  drops : int;
+  trims : int;
+  retransmits : int;
+  flows_started : int;
+  flows_done : int;
+  t_first : int;
+  t_last : int;
+}
+
+let create () =
+  { events = 0; by_tag = []; max_occ = []; data_enqueues = 0;
+    marks = 0; drops = 0; trims = 0; retransmits = 0;
+    flows_started = 0; flows_done = 0; t_first = max_int; t_last = 0 }
+
+let bump assoc key by =
+  let rec go = function
+    | [] -> [ (key, by) ]
+    | (k, v) :: rest when k = key -> (k, max v by) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go assoc
+
+let incr assoc key =
+  let rec go = function
+    | [] -> [ (key, 1) ]
+    | (k, v) :: rest when k = key -> (k, v + 1) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  go assoc
+
+let add t ts (ev : Event.t) =
+  let t =
+    { t with
+      events = t.events + 1;
+      by_tag = incr t.by_tag (Event.tag ev);
+      t_first = min t.t_first ts;
+      t_last = max t.t_last ts }
+  in
+  match ev with
+  | Enqueue { node; port; kind; occ; _ } ->
+    { t with
+      max_occ = bump t.max_occ (node, port) occ;
+      data_enqueues =
+        (if kind = 'D' then t.data_enqueues + 1 else t.data_enqueues) }
+  | Dequeue { node; port; occ; _ }
+  | Probe_queue { node; port; occ; _ } ->
+    { t with max_occ = bump t.max_occ (node, port) occ }
+  | Ecn_mark _ -> { t with marks = t.marks + 1 }
+  | Drop { node; port; occ; _ } ->
+    { t with drops = t.drops + 1;
+             max_occ = bump t.max_occ (node, port) occ }
+  | Trim _ -> { t with trims = t.trims + 1 }
+  | Retransmit _ -> { t with retransmits = t.retransmits + 1 }
+  | Flow_start _ -> { t with flows_started = t.flows_started + 1 }
+  | Flow_done _ -> { t with flows_done = t.flows_done + 1 }
+  | Cwnd_update _ | Loop_switch _ | Rto_fire _ | Probe_link _
+  | Probe_dt _ -> t
+
+let of_list events =
+  let t =
+    List.fold_left (fun acc (ts, ev) -> add acc ts ev) (create ())
+      events
+  in
+  { t with
+    by_tag = List.sort compare t.by_tag;
+    max_occ = List.sort compare t.max_occ }
+
+let mark_rate t =
+  if t.data_enqueues = 0 then nan
+  else float_of_int t.marks /. float_of_int t.data_enqueues
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>events        %d" t.events;
+  if t.events > 0 then
+    Fmt.pf ppf "@,span          %d .. %d ns" t.t_first t.t_last;
+  Fmt.pf ppf
+    "@,flows         %d started, %d done@,\
+     data enqueues %d@,marks         %d (rate %.4f)@,\
+     drops/trims   %d/%d@,retransmits   %d"
+    t.flows_started t.flows_done t.data_enqueues t.marks
+    (let r = mark_rate t in if Float.is_nan r then 0. else r)
+    t.drops t.trims t.retransmits;
+  Fmt.pf ppf "@,by event:";
+  List.iter
+    (fun (tag, n) -> Fmt.pf ppf "@,  %-12s %d" tag n)
+    (List.sort compare t.by_tag);
+  let occ = List.sort compare t.max_occ in
+  if occ <> [] then begin
+    Fmt.pf ppf "@,max occupancy per port:";
+    List.iter
+      (fun ((node, port), v) ->
+         Fmt.pf ppf "@,  node %-3d port %-2d %8d B" node port v)
+      occ
+  end;
+  Fmt.pf ppf "@]"

@@ -36,12 +36,24 @@ let now t = Sim.now t.sim
 
 let count_op t host = t.ops.(host) <- t.ops.(host) + 1
 
+let flow_started t (flow : Flow.t) =
+  t.started <- t.started + 1;
+  if !Ppt_obs.Trace.enabled then
+    Ppt_obs.Trace.emit (now t)
+      (Ppt_obs.Event.Flow_start
+         { flow = flow.Flow.id; size = flow.Flow.size })
+
 let flow_finished t (flow : Flow.t) =
   match flow.finished with
   | Some _ -> ()    (* already recorded *)
   | None ->
     let finish = now t in
     flow.finished <- Some finish;
+    if !Ppt_obs.Trace.enabled then
+      Ppt_obs.Trace.emit finish
+        (Ppt_obs.Event.Flow_done
+           { flow = flow.Flow.id; size = flow.Flow.size;
+             fct = finish - flow.Flow.start });
     Fct.add t.fct
       { Fct.flow = flow.id; size = flow.size; start = flow.start;
         finish; retrans = flow.retrans; hcp_payload = flow.hcp_payload;

@@ -32,5 +32,8 @@ val now : t -> Units.time
 val count_op : t -> int -> unit
 (** Count one datapath operation at a host (the Fig. 19 CPU proxy). *)
 
+val flow_started : t -> Flow.t -> unit
+(** Count a launched flow and emit a [Flow_start] trace event. *)
+
 val flow_finished : t -> Flow.t -> unit
 (** Record a completed flow exactly once and fire [on_complete]. *)

@@ -95,14 +95,20 @@ type t = {
   mutable hook_more_data : t -> unit;
 }
 
-let default_on_loss t =
-  t.cwnd <- Float.max (float_of_int t.mss) (t.cwnd /. 2.)
-
-let default_on_timeout t = t.cwnd <- float_of_int t.mss
-
 let cwnd t = t.cwnd
+
+(* Every congestion-control policy funnels window changes through
+   here, so this one site gives traces the full cwnd trajectory. *)
 let set_cwnd t w =
-  t.cwnd <- Float.min t.p.cwnd_cap (Float.max (float_of_int t.mss) w)
+  t.cwnd <- Float.min t.p.cwnd_cap (Float.max (float_of_int t.mss) w);
+  if !Ppt_obs.Trace.enabled then
+    Ppt_obs.Trace.emit (Sim.now t.ctx.Context.sim)
+      (Ppt_obs.Event.Cwnd_update
+         { flow = t.flow.Flow.id; cwnd = int_of_float t.cwnd })
+
+let default_on_loss t = set_cwnd t (t.cwnd /. 2.)
+
+let default_on_timeout t = set_cwnd t (float_of_int t.mss)
 let mss t = t.mss
 let snd_nxt t = t.snd_nxt
 let cum_ack t = t.cum_ack
@@ -183,6 +189,10 @@ and on_rto t =
           Units.pp_time (Sim.now t.ctx.Context.sim) t.rto_backoff
           t.cum_ack t.flow.Flow.nseg);
     Context.count_op t.ctx t.flow.Flow.src;
+    if !Ppt_obs.Trace.enabled then
+      Ppt_obs.Trace.emit (Sim.now t.ctx.Context.sim)
+        (Ppt_obs.Event.Rto_fire
+           { flow = t.flow.Flow.id; backoff = t.rto_backoff });
     (* every in-flight primary segment is presumed lost *)
     for seq = 0 to t.flow.Flow.nseg - 1 do
       if Bytes.get t.seg seq = st_h_inflight then begin
@@ -225,7 +235,14 @@ and send_segment t ~loop ?prio_override seq =
     | Packet.L ->
       t.flow.Flow.lcp_payload <- t.flow.Flow.lcp_payload + pay
   end;
-  if retransmission then t.flow.Flow.retrans <- t.flow.Flow.retrans + 1;
+  if retransmission then begin
+    t.flow.Flow.retrans <- t.flow.Flow.retrans + 1;
+    if !Ppt_obs.Trace.enabled then
+      Ppt_obs.Trace.emit (Sim.now t.ctx.Context.sim)
+        (Ppt_obs.Event.Retransmit
+           { flow = t.flow.Flow.id; seq;
+             loop = (match loop with Packet.H -> 'H' | Packet.L -> 'L') })
+  end;
   arm_rto t
 
 (* Next primary-loop segment: queued retransmissions first, then new

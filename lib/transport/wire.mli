@@ -1,0 +1,39 @@
+(** Protocol payloads carried inside packets, shared by every
+    transport so receivers and senders agree on a single ACK format.
+    Attached through the extensible {!Ppt_netsim.Packet.meta} variant,
+    keeping the network layer protocol-agnostic. *)
+
+open Ppt_engine
+open Ppt_netsim
+
+type Packet.meta +=
+  | Data_meta of {
+      tx : Units.time;     (** when the data packet left the sender *)
+      first_rtt : bool;    (** sent in the flow's first RTT (Aeolus) *)
+    }
+  | Ack_meta of {
+      cum : int;           (** segments received in order from 0 *)
+      sacks : int list;    (** specific segments this ack confirms *)
+      ece : bool;          (** congestion-experienced echo *)
+      data_tx : Units.time;  (** echo of the data packet's tx time *)
+      int_tel : Packet.int_hop list;  (** echoed inband telemetry *)
+    }
+  | Grant_meta of {
+      g_cum : int;   (** segments received in order (progress) *)
+      g_upto : int;  (** sender may transmit up to this segment *)
+      g_prio : int;  (** priority for granted (scheduled) data *)
+    }
+  | Pull_meta of { p_cum : int }
+  | Nack_meta of { nack_seq : int }
+
+val data_tx_time : Packet.t -> Units.time option
+(** The [Data_meta] send timestamp; [None] for any other meta. *)
+
+val is_first_rtt : Packet.t -> bool
+(** [true] only for [Data_meta] packets flagged as first-RTT. *)
+
+val ack_meta :
+  Packet.t ->
+  (int * int list * bool * Units.time * Packet.int_hop list) option
+(** Destructure an [Ack_meta] as [(cum, sacks, ece, data_tx,
+    int_tel)]. *)

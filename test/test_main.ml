@@ -8,4 +8,5 @@ let () =
       ("core", Test_core.suite);
       ("baselines", Test_baselines.suite);
       ("harness", Test_harness.suite);
-      ("invariants", Test_invariants.suite) ]
+      ("invariants", Test_invariants.suite);
+      ("obs", Test_obs.suite) ]

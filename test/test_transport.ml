@@ -132,6 +132,138 @@ let test_determinism () =
   in
   check Alcotest.bool "identical runs" true (run () = run ())
 
+(* --- wire.ml: protocol metadata accessors --- *)
+
+let test_wire_meta () =
+  let module Packet = Ppt_netsim.Packet in
+  let data =
+    Packet.make ~seq:7 ~payload:1460
+      ~meta:(Wire.Data_meta { tx = 12_345; first_rtt = true })
+      ~flow:1 ~src:0 ~dst:1 Packet.Data
+  in
+  check (Alcotest.option Alcotest.int) "data_tx_time" (Some 12_345)
+    (Wire.data_tx_time data);
+  check Alcotest.bool "first-rtt flag carried" true
+    (Wire.is_first_rtt data);
+  let later =
+    Packet.make ~seq:9
+      ~meta:(Wire.Data_meta { tx = 99; first_rtt = false })
+      ~flow:1 ~src:0 ~dst:1 Packet.Data
+  in
+  check Alcotest.bool "past the first rtt" false
+    (Wire.is_first_rtt later);
+  let ack =
+    Packet.make
+      ~meta:(Wire.Ack_meta
+               { cum = 4; sacks = [ 6; 5 ]; ece = true; data_tx = 77;
+                 int_tel = [] })
+      ~flow:1 ~src:1 ~dst:0 Packet.Ack
+  in
+  (match Wire.ack_meta ack with
+   | Some (cum, sacks, ece, data_tx, tel) ->
+     check Alcotest.int "cum" 4 cum;
+     check (Alcotest.list Alcotest.int) "sacks" [ 6; 5 ] sacks;
+     check Alcotest.bool "ece echo" true ece;
+     check Alcotest.int "data_tx echo" 77 data_tx;
+     check Alcotest.bool "no telemetry" true (tel = [])
+   | None -> Alcotest.fail "ack_meta failed to destructure");
+  check Alcotest.bool "accessors reject foreign metas" true
+    (Wire.data_tx_time ack = None
+     && Wire.ack_meta data = None
+     && not (Wire.is_first_rtt ack))
+
+(* --- tcp.ml: slow start / loss recovery state machine --- *)
+
+let ack_info ?(newly = 0) () =
+  { Reliable.ai_cum = 0; ai_sacks = []; ai_ece = false; ai_data_tx = 0;
+    ai_int_tel = []; ai_newly_acked = newly; ai_cum_advanced = true }
+
+let test_tcp_congestion_control () =
+  let _sim, _topo, ctx = Helpers.star () in
+  let flow = Flow.create ~id:0 ~src:0 ~dst:1 ~size:1_000_000 ~start:0 in
+  let mss = Ppt_netsim.Packet.max_payload in
+  let fmss = float_of_int mss in
+  let params =
+    Reliable.default_params ~initial_cwnd:(3 * mss) ~ecn_capable:false ()
+  in
+  let s = Reliable.create ctx flow params in
+  Tcp.attach s;
+  let eps = Alcotest.float 0.01 in
+  (* slow start: every newly acked byte grows cwnd by one byte *)
+  s.Reliable.hook_on_ack s (ack_info ~newly:mss ());
+  check eps "slow start grows one seg per acked seg" (4. *. fmss)
+    (Reliable.cwnd s);
+  (* fast-retransmit loss: window halves *)
+  Reliable.set_cwnd s (20. *. fmss);
+  s.Reliable.hook_on_loss s;
+  check eps "loss halves the window" (10. *. fmss) (Reliable.cwnd s);
+  (* now above ssthresh: congestion avoidance, additive growth *)
+  let before = Reliable.cwnd s in
+  s.Reliable.hook_on_ack s (ack_info ~newly:mss ());
+  let growth = Reliable.cwnd s -. before in
+  check Alcotest.bool
+    (Printf.sprintf "additive growth (%.1fB) well below a segment"
+       growth)
+    true
+    (growth > 0. && growth < fmss /. 2.);
+  (* halving is floored at two segments *)
+  Reliable.set_cwnd s (2. *. fmss);
+  s.Reliable.hook_on_loss s;
+  check eps "ssthresh floored at 2 mss" (2. *. fmss) (Reliable.cwnd s);
+  (* timeout: back to one segment, then slow start resumes *)
+  Reliable.set_cwnd s (20. *. fmss);
+  s.Reliable.hook_on_timeout s;
+  check eps "timeout resets to 1 mss" fmss (Reliable.cwnd s);
+  s.Reliable.hook_on_ack s (ack_info ~newly:mss ());
+  check eps "slow start resumes below ssthresh" (2. *. fmss)
+    (Reliable.cwnd s)
+
+(* End to end: no ECN, shallow shared buffer, an incast -- TCP must
+   lose packets and still complete every flow via retransmission. *)
+let test_tcp_loss_recovery_e2e () =
+  let qcfg =
+    { (Helpers.default_qcfg ~buffer:(Units.kb 30) ()) with
+      Ppt_netsim.Prio_queue.mark_thresholds =
+        Ppt_netsim.Prio_queue.no_marking }
+  in
+  let _sim, _topo, ctx = Helpers.star ~qcfg () in
+  let tcp = Tcp.make () ctx in
+  Helpers.run_flows ctx tcp
+    [ (0, 3, 400_000, 0); (1, 3, 400_000, 0); (2, 3, 400_000, 0) ];
+  check Alcotest.int "all flows complete" 3 ctx.Context.completed;
+  let records = Ppt_stats.Fct.records ctx.Context.fct in
+  let retrans =
+    List.fold_left (fun a r -> a + r.Ppt_stats.Fct.retrans) 0 records
+  in
+  check Alcotest.bool "drops repaired by retransmission" true
+    (retrans > 0)
+
+(* --- halfback.ml: pace-out + replay --- *)
+
+let test_halfback_replay_small_flow () =
+  let _sim, _topo, ctx = Helpers.star () in
+  let hb = Halfback.make () ctx in
+  (* below the 141KB burst threshold: paced out in one RTT, tail
+     proactively replayed on the low-priority loop *)
+  Helpers.run_flows ctx hb [ (0, 1, 100_000, 0) ];
+  check Alcotest.bool "flow completed" true (Helpers.fct_of ctx 0 <> None);
+  let r = List.hd (Ppt_stats.Fct.records ctx.Context.fct) in
+  check Alcotest.bool "replayed tail rides the low loop" true
+    (r.Ppt_stats.Fct.lcp_payload > 0);
+  check Alcotest.bool "replay bounded by replay_segs" true
+    (r.Ppt_stats.Fct.lcp_payload
+     <= Halfback.default_params.Halfback.replay_segs
+        * Ppt_netsim.Packet.max_payload)
+
+let test_halfback_large_flow_plain () =
+  let _sim, _topo, ctx = Helpers.star () in
+  let hb = Halfback.make () ctx in
+  Helpers.run_flows ctx hb [ (0, 1, 1_000_000, 0) ];
+  check Alcotest.bool "flow completed" true (Helpers.fct_of ctx 0 <> None);
+  let r = List.hd (Ppt_stats.Fct.records ctx.Context.fct) in
+  check Alcotest.int "no replay for large flows" 0
+    r.Ppt_stats.Fct.lcp_payload
+
 let suite =
   [ Alcotest.test_case "dctcp: single flow" `Quick
       test_single_flow_completes;
@@ -143,4 +275,13 @@ let suite =
       test_ecn_prevents_drops;
     Alcotest.test_case "dctcp: view state" `Quick test_dctcp_view;
     Alcotest.test_case "dctcp: flow counters" `Quick test_flow_counters;
-    Alcotest.test_case "dctcp: determinism" `Quick test_determinism ]
+    Alcotest.test_case "dctcp: determinism" `Quick test_determinism;
+    Alcotest.test_case "wire: meta accessors" `Quick test_wire_meta;
+    Alcotest.test_case "tcp: slow start and loss recovery" `Quick
+      test_tcp_congestion_control;
+    Alcotest.test_case "tcp: loss recovery end to end" `Quick
+      test_tcp_loss_recovery_e2e;
+    Alcotest.test_case "halfback: small-flow replay" `Quick
+      test_halfback_replay_small_flow;
+    Alcotest.test_case "halfback: large flow stays plain" `Quick
+      test_halfback_large_flow_plain ]
