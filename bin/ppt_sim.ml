@@ -164,6 +164,16 @@ let run_cmd =
     in
     Arg.(value & opt int 100 & info [ "probe-interval" ] ~docv:"US" ~doc)
   in
+  let faults_arg =
+    let doc =
+      "Inject deterministic faults from $(docv), e.g. \
+       'down@2ms-5ms:link:3; ber=1e-5@0ms-50ms:core'. Clauses are \
+       KIND@FROM-UNTIL:SELECTOR separated by ';' — see HACKING.md \
+       for the full grammar."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
   let read_file path =
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -172,7 +182,7 @@ let run_cmd =
     s
   in
   let run topo scheme workload load flows seed full incast dump
-      trace_in trace_out trace_events probe_us verbose =
+      trace_in trace_out trace_events probe_us faults verbose =
     setup_logs verbose;
     match List.assoc_opt scheme scheme_names with
     | None -> `Error (false, "unknown scheme: " ^ scheme)
@@ -185,6 +195,16 @@ let run_cmd =
           Config.with_trace ~path
             ~probe_interval:(Ppt_engine.Units.us probe_us) cfg
       in
+      (match
+         Option.map Ppt_faults.Fault_spec.of_string faults
+       with
+       | Some (Error e) -> `Error (false, "bad --faults spec: " ^ e)
+       | (None | Some (Ok _)) as parsed ->
+      let cfg =
+        match parsed with
+        | Some (Ok spec) -> Config.with_faults spec cfg
+        | _ -> cfg
+      in
       let trace =
         Option.map
           (fun path -> Ppt_workload.Trace.of_csv (read_file path))
@@ -192,6 +212,8 @@ let run_cmd =
       in
       let r = Runner.run ?trace cfg s in
       pp_result r;
+      if faults <> None then
+        Format.printf "fault drops   %d@." r.Runner.fault_drops;
       (match trace_events with
        | Some path -> Format.printf "event trace written to %s@." path
        | None -> ());
@@ -207,13 +229,14 @@ let run_cmd =
          dump_fcts path r.Runner.records;
          Format.printf "per-flow results written to %s@." path
        | None -> ());
-      `Ok ()
+      `Ok ())
   in
   let term =
     Term.(ret (const run $ topo_arg $ scheme_arg $ workload_arg
                $ load_arg $ flows_arg $ seed_arg $ full_arg $ incast_arg
                $ dump_arg $ trace_in_arg $ trace_out_arg
-               $ trace_events_arg $ probe_us_arg $ verbose_arg))
+               $ trace_events_arg $ probe_us_arg $ faults_arg
+               $ verbose_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one transport over one workload") term
 

@@ -1,0 +1,193 @@
+(* Turns a validated {!Fault_spec.t} into scheduled mutations of
+   [Net.port] fault state.
+
+   Policy lives here; mechanism lives in [Net] (a port's [up],
+   [cur_rate], [extra_delay] and [fault_filter] fields plus [kick]).
+   Every clause schedules an apply at its window start and a revert at
+   its window end; at each transition the port's effective state is
+   recomputed from scratch over the clauses still active on it, so
+   overlapping windows compose and always revert cleanly.
+
+   Determinism: all random draws (loss, BER) come from one private
+   stream derived from the run seed, never from the workload's
+   generator — adding or removing a fault spec cannot perturb flow
+   arrival times or sizes, and the same seed always yields the same
+   faults. *)
+
+open Ppt_engine
+open Ppt_netsim
+
+module Trace = Ppt_obs.Trace
+module Ev = Ppt_obs.Event
+
+type port_state = {
+  port : Net.port;
+  mutable active : Fault_spec.clause list;
+  mutable was_down : bool;
+  mutable was_degraded : bool;
+}
+
+(* --- selector resolution ------------------------------------------- *)
+
+let check_host hosts h what =
+  if h < 0 || h >= Array.length hosts then
+    invalid_arg
+      (Printf.sprintf "fault selector %s:%d: no such host" what h)
+
+let all_ports net f =
+  let acc = ref [] in
+  for nid = Net.n_nodes net - 1 downto 0 do
+    let node = Net.node net nid in
+    Array.iter
+      (fun (p : Net.port) -> if f node p then acc := p :: !acc)
+      node.Net.ports
+  done;
+  !acc
+
+let resolve net ~hosts ~to_host_port (sel : Fault_spec.selector) =
+  let peer_is_host (p : Net.port) =
+    (Net.node net p.Net.peer).Net.is_host
+  in
+  match sel with
+  | Fault_spec.Host h ->
+    check_host hosts h "host";
+    [ Net.port net hosts.(h) 0 ]
+  | Fault_spec.To_host h ->
+    check_host hosts h "tohost";
+    let node, pix = to_host_port h in
+    [ Net.port net node pix ]
+  | Fault_spec.Link h ->
+    check_host hosts h "link";
+    let node, pix = to_host_port h in
+    [ Net.port net hosts.(h) 0; Net.port net node pix ]
+  | Fault_spec.Port { node; port } ->
+    if node < 0 || node >= Net.n_nodes net then
+      invalid_arg
+        (Printf.sprintf "fault selector node:%d:%d: no such node" node
+           port);
+    let n = Net.node net node in
+    if port < 0 || port >= Array.length n.Net.ports then
+      invalid_arg
+        (Printf.sprintf "fault selector node:%d:%d: no such port" node
+           port);
+    [ Net.port net node port ]
+  | Fault_spec.Core ->
+    all_ports net (fun n p ->
+        (not n.Net.is_host) && not (peer_is_host p))
+  | Fault_spec.Edge ->
+    all_ports net (fun n p -> n.Net.is_host || peer_is_host p)
+  | Fault_spec.All -> all_ports net (fun _ _ -> true)
+
+(* --- effective-state recomputation --------------------------------- *)
+
+let make_filter rng ~loss ~ber =
+  if loss <= 0. && ber <= 0. then None
+  else
+    Some
+      (fun (p : Packet.t) ->
+        if loss > 0. && Rng.float rng < loss then Some 'L'
+        else if
+          ber > 0.
+          && Rng.float rng
+             < 1. -. ((1. -. ber) ** float_of_int (8 * p.Packet.wire))
+        then Some 'C'
+        else None)
+
+let recompute net rng ps =
+  let port = ps.port in
+  let down = ref false in
+  let rate_f = ref 1.0 in
+  let extra = ref 0 in
+  let keep = ref 1.0 in
+  let ber = ref 0.0 in
+  List.iter
+    (fun (c : Fault_spec.clause) ->
+      match c.Fault_spec.kind with
+      | Fault_spec.Down -> down := true
+      | Fault_spec.Loss p -> keep := !keep *. (1. -. p)
+      | Fault_spec.Ber b -> ber := !ber +. b
+      | Fault_spec.Rate f -> rate_f := !rate_f *. f
+      | Fault_spec.Extra_delay d -> extra := !extra + d)
+    ps.active;
+  let down = !down in
+  let loss = 1. -. !keep in
+  port.Net.up <- not down;
+  port.Net.cur_rate <-
+    (if !rate_f >= 1. then port.Net.rate
+     else
+       max 1 (int_of_float (float_of_int port.Net.rate *. !rate_f)));
+  port.Net.extra_delay <- !extra;
+  port.Net.fault_filter <- make_filter rng ~loss ~ber:!ber;
+  let degraded = !rate_f < 1. || !extra > 0 in
+  let ts = Sim.now (Net.sim net) in
+  let node = port.Net.owner and pix = port.Net.pix in
+  if down then begin
+    if (not ps.was_down) && !Trace.enabled then
+      Trace.emit ts (Ev.Link_down { node; port = pix })
+  end
+  else begin
+    if degraded then begin
+      if !Trace.enabled then
+        Trace.emit ts
+          (Ev.Link_degrade
+             { node; port = pix;
+               rate_ppm = int_of_float (!rate_f *. 1_000_000.);
+               extra_delay = !extra })
+    end
+    else if (ps.was_down || ps.was_degraded) && !Trace.enabled then
+      Trace.emit ts (Ev.Link_up { node; port = pix });
+    (* restart the transmit loop after a down window, whether or not
+       anyone is tracing *)
+    if ps.was_down then Net.kick net port
+  end;
+  ps.was_down <- down;
+  ps.was_degraded <- degraded
+
+let rec remove_once c = function
+  | [] -> []
+  | x :: rest -> if x == c then rest else x :: remove_once c rest
+
+(* Derive the injector's private stream from the run seed; the salt
+   only decorrelates it from [Rng.create seed] itself. *)
+let rng_of_seed seed = Rng.create ((seed * 1_000_003) lxor 0xFA017)
+
+let install ~net ~hosts ~to_host_port ~seed spec =
+  (match Fault_spec.validate spec with
+   | Ok _ -> ()
+   | Error e -> invalid_arg ("fault spec: " ^ e));
+  let sim = Net.sim net in
+  let rng = rng_of_seed seed in
+  let table : (int * int, port_state) Hashtbl.t = Hashtbl.create 16 in
+  let state_of (p : Net.port) =
+    let key = (p.Net.owner, p.Net.pix) in
+    match Hashtbl.find_opt table key with
+    | Some ps -> ps
+    | None ->
+      let ps =
+        { port = p; active = []; was_down = false;
+          was_degraded = false }
+      in
+      Hashtbl.add table key ps;
+      ps
+  in
+  List.iter
+    (fun (c : Fault_spec.clause) ->
+      let ports = resolve net ~hosts ~to_host_port c.Fault_spec.sel in
+      if ports = [] then
+        invalid_arg
+          (Printf.sprintf
+             "fault selector %s matches no ports on this topology"
+             (Fault_spec.selector_to_string c.Fault_spec.sel));
+      List.iter
+        (fun p ->
+          let ps = state_of p in
+          ignore
+            (Sim.schedule_at sim c.Fault_spec.from_t (fun () ->
+                 ps.active <- c :: ps.active;
+                 recompute net rng ps));
+          ignore
+            (Sim.schedule_at sim c.Fault_spec.until_t (fun () ->
+                 ps.active <- remove_once c ps.active;
+                 recompute net rng ps)))
+        ports)
+    spec

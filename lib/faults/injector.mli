@@ -1,0 +1,27 @@
+(** Schedules a {!Fault_spec.t} against a built fabric.
+
+    Each clause applies at its window start and reverts at its window
+    end; overlapping clauses on the same port compose (rates multiply,
+    delays and BERs add, loss probabilities combine independently) and
+    the port returns to its pristine state once the last window
+    closes. Transitions emit [Link_down]/[Link_up]/[Link_degrade]
+    trace events; packets killed by loss or corruption surface as
+    [Fault_drop] events and [Net.total_fault_drops].
+
+    All random draws use a private stream derived from [seed], so a
+    fault spec never perturbs workload generation and identical seeds
+    give identical fault behaviour. *)
+
+open Ppt_netsim
+
+val install :
+  net:Net.t ->
+  hosts:int array ->
+  to_host_port:(int -> int * int) ->
+  seed:int ->
+  Fault_spec.t ->
+  unit
+(** Call after the topology is built and before the clock starts.
+    [hosts] and [to_host_port] come from [Topology.built]. Raises
+    [Invalid_argument] on an invalid spec, an out-of-range host/node,
+    or a selector matching no ports (e.g. [core] on a star). *)

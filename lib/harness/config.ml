@@ -59,6 +59,9 @@ type t = {
   n_flows : int;
   seed : int;
   trace : trace_cfg option;        (* None = tracing off *)
+  faults : Ppt_faults.Fault_spec.t option;
+  (* None / Some [] = pristine fabric (bit-identical to a build
+     without the fault layer) *)
 }
 
 let n_hosts t =
@@ -75,6 +78,8 @@ let with_workload ?name cdf t =
 let with_trace ?path ?probe_interval t =
   { t with trace = Some { trace_path = path; probe_interval } }
 
+let with_faults spec t = { t with faults = Some spec }
+
 (* §6.1 testbed: Table 3. *)
 let testbed ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
   { name = "testbed";
@@ -86,7 +91,8 @@ let testbed ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
     sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
     rto_min = Units.ms 10;
     workload = Dists.web_search; workload_name = "web-search";
-    pattern = All_to_all; load; n_flows; seed; trace = None }
+    pattern = All_to_all; load; n_flows; seed; trace = None;
+    faults = None }
 
 (* §6.2 oversubscribed fabric: 40/100G, 120KB port buffer, ECN 96/86KB. *)
 let oversub ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
@@ -105,7 +111,8 @@ let oversub ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
     sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
     rto_min = Units.ms 1;
     workload = Dists.web_search; workload_name = "web-search";
-    pattern = All_to_all; load; n_flows; seed; trace = None }
+    pattern = All_to_all; load; n_flows; seed; trace = None;
+    faults = None }
 
 (* Fig. 22: the same shape at 100/400G. *)
 let fast ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1) () =
@@ -141,7 +148,8 @@ let non_oversub ?(scale = 4) ?(n_flows = 300) ?(load = 0.5) ?(seed = 1)
     sel_drop_frac = 0.5; dt = true; routing = Topology.Per_flow;
     rto_min = Units.ms 1;
     workload = Dists.web_search; workload_name = "web-search";
-    pattern = All_to_all; load; n_flows; seed; trace = None }
+    pattern = All_to_all; load; n_flows; seed; trace = None;
+    faults = None }
 
 (* Figs. 1/20/28/29: two senders, one receiver, 40G bottleneck.
 
@@ -164,4 +172,4 @@ let dumbbell ?(n_flows = 400) ?(load = 0.5) ?(seed = 1)
     rto_min = Units.ms 1;
     workload = Dists.web_search; workload_name = "web-search";
     pattern = Incast { n_senders = 2 }; load; n_flows; seed;
-    trace = None }
+    trace = None; faults = None }

@@ -740,6 +740,50 @@ let ext5 o ppf =
          [ mean; p99; small_p99; Fct.jain_fairness fct ])
     [ Schemes.ppt; Schemes.dctcp; Schemes.homa; Schemes.ndp ]
 
+(* Fault tolerance: the canonical chaos scenarios of lib/faults (link
+   flap, spine BER, transient delay spike, paused receiver) against the
+   chaos transport set. Completion must stay at 100% for every
+   scenario; the FCT columns show what each recovery costs. *)
+let chaos o ppf =
+  section ppf
+    "chaos: canonical fault scenarios (oversubscribed fabric), web \
+     search, 0.5 load";
+  let base =
+    Config.oversub ~scale:(fabric_scale o) ~n_flows:(scaled o 200)
+      ~load:0.5 ~seed:o.seed ()
+  in
+  let receiver = Config.n_hosts base - 1 in
+  let spike =
+    (* ~10x the pristine one-way path delay *)
+    match base.Config.topo with
+    | Config.Leaf_spine { edge_delay; core_delay; _ } ->
+      9 * 2 * (edge_delay + core_delay)
+    | Config.Star { delay; _ } -> 9 * 2 * delay
+  in
+  let scenarios =
+    ("none", "")
+    :: Ppt_faults.Fault_spec.scenarios ~receiver ~spike ~core:true
+  in
+  Format.fprintf ppf "%-12s %-8s %11s %12s %10s %10s@\n" "scenario"
+    "scheme" "completed" "fault-drops" "avg-fct" "small-p99";
+  List.iter
+    (fun (name, spec_s) ->
+       let spec =
+         match Ppt_faults.Fault_spec.of_string spec_s with
+         | Ok s -> s
+         | Error e -> failwith ("chaos scenario " ^ name ^ ": " ^ e)
+       in
+       List.iter
+         (fun scheme ->
+            let r = Runner.run (Config.with_faults spec base) scheme in
+            Format.fprintf ppf
+              "%-12s %-8s %5d/%-5d %12d %10.3f %10.3f@\n" name
+              r.Runner.r_scheme r.Runner.completed r.Runner.requested
+              r.Runner.fault_drops r.Runner.summary.Fct.overall_avg
+              r.Runner.summary.Fct.small_p99)
+         Schemes.chaos_set)
+    scenarios
+
 (* ---------- registry ---------- *)
 
 let all : (string * string * (opts -> Format.formatter -> unit)) list =
@@ -777,7 +821,8 @@ let all : (string * string * (opts -> Format.formatter -> unit)) list =
     ("ext2", "LCP ECN-threshold sensitivity", ext2);
     ("ext3", "PPT over HPCC (appendix B)", ext3);
     ("ext4", "load balancing modes", ext4);
-    ("ext5", "slowdown and fairness view", ext5) ]
+    ("ext5", "slowdown and fairness view", ext5);
+    ("chaos", "fault injection: canonical chaos scenarios", chaos) ]
 
 let find id =
   List.find_opt (fun (i, _, _) -> i = id) all

@@ -16,6 +16,7 @@ type result = {
   requested : int;
   drops : int;
   marks : int;
+  fault_drops : int;                 (* injected loss/corruption/down *)
   last_finish : Units.time;          (* when the last flow completed *)
   ops_per_host_sec : float;          (* datapath-operation rate proxy *)
   efficiency : float;                (* delivered / transmitted payload *)
@@ -94,6 +95,15 @@ let run ?lp_buffer_cap ?trace ?(observe = fun _ _ -> ())
     (cfg : Config.t) (scheme : Schemes.t) =
   let sim = Sim.create () in
   let topo = build_topology sim cfg scheme ~lp_buffer_cap in
+  (* Fault injection draws from its own seed-derived stream, so a
+     spec (or its absence) never perturbs workload generation. *)
+  (match cfg.Config.faults with
+   | None | Some [] -> ()
+   | Some spec ->
+     Ppt_faults.Injector.install ~net:topo.Topology.net
+       ~hosts:topo.Topology.hosts
+       ~to_host_port:topo.Topology.to_host_port
+       ~seed:cfg.Config.seed spec);
   let rng = Rng.create cfg.Config.seed in
   let ctx = Context.of_topology ~rto_min:cfg.Config.rto_min ~rng topo in
   let trace =
@@ -173,6 +183,7 @@ let run ?lp_buffer_cap ?trace ?(observe = fun _ _ -> ())
     requested;
     drops = Net.total_drops ctx.Context.net;
     marks = Net.total_marks ctx.Context.net;
+    fault_drops = Net.total_fault_drops ctx.Context.net;
     last_finish = !last_finish;
     ops_per_host_sec =
       float_of_int total_ops /. duration_s /. float_of_int n_hosts;

@@ -67,6 +67,11 @@ let headline = [ ndp; aeolus; homa; rc3; dctcp; ppt ]
 (* the §6.1 testbed comparison set *)
 let testbed_set = [ homa; rc3; dctcp; ppt ]
 
+(* the chaos/fault-tolerance comparison set: one window transport per
+   recovery style (tcp drop-tail, dctcp ECN, ppt two-loop) plus the
+   receiver-driven pair (ndp trimming, homa grants) *)
+let chaos_set = [ tcp; dctcp; ppt; ndp; homa ]
+
 (* every transport in Table 1 that this repository implements *)
 let table1_set =
   [ dctcp; tcp10; halfback; rc3; pias; hpcc; homa; aeolus; expresspass;

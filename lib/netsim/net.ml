@@ -23,6 +23,15 @@ type port = {
   (* preallocated end-of-serialization continuation, installed by
      [create] so the transmit loop does not close over the port on
      every packet *)
+  (* Fault-injection state (Ppt_faults). Neutral defaults keep the
+     datapath bit-identical when no fault spec is active. *)
+  mutable up : bool;                (* false: port stops dequeuing *)
+  mutable cur_rate : Units.rate;    (* effective rate (degrade) *)
+  mutable extra_delay : Units.time; (* added propagation (degrade) *)
+  mutable fault_filter : (Packet.t -> char option) option;
+  (* per-packet kill decision at transmit time; [Some reason] loses
+     the packet on the wire ('L' random loss, 'C' corruption) *)
+  mutable fault_drops : int;        (* packets killed by the filter *)
 }
 
 type node = {
@@ -46,7 +55,9 @@ let no_route (_ : Packet.t) = invalid_arg "Net: route not installed"
 
 let make_port ~owner ~pix ~rate ~delay qcfg =
   { owner; pix; rate; delay; peer = -1; q = Prio_queue.create qcfg;
-    busy = false; tx_bytes = 0; tx_payload = 0; tx_done = ignore }
+    busy = false; tx_bytes = 0; tx_payload = 0; tx_done = ignore;
+    up = true; cur_rate = rate; extra_delay = 0; fault_filter = None;
+    fault_drops = 0 }
 
 let make_node ~nid ~is_host ports =
   { nid; is_host; ports; route = no_route }
@@ -132,25 +143,49 @@ let deliver t (p : Packet.t) =
   | Some handler -> t.delivered <- t.delivered + 1; handler p
   | None -> t.undeliverable <- t.undeliverable + 1
 
+(* A faulted packet still holds the wire for its serialization time
+   (the bits were sent, just not received intact), so only the receive
+   is suppressed; [tx_done] keeps the transmit loop alive either way. *)
+let fault_kill t (port : port) (p : Packet.t) reason =
+  port.fault_drops <- port.fault_drops + 1;
+  if !Trace.enabled then
+    Trace.emit (Sim.now t.sim)
+      (Ev.Fault_drop
+         { node = port.owner; port = port.pix; flow = p.flow;
+           seq = p.seq; kind = kind_tag p.kind; size = p.wire;
+           reason })
+
 (* Transmit loop of a port: while the queue is non-empty, pop the next
    packet, hold the wire for its serialization time, then hand it to the
-   far node after the propagation delay. *)
+   far node after the propagation delay. A downed port parks with its
+   queue intact; [kick] restarts it on link-up. *)
 let rec start_tx t (port : port) =
-  match Prio_queue.dequeue port.q with
-  | None -> port.busy <- false
-  | Some p ->
-    if !Trace.enabled then trace_dequeue t port p;
-    port.busy <- true;
-    let tx = Units.tx_time ~rate:port.rate ~bytes:p.wire in
-    port.tx_bytes <- port.tx_bytes + p.wire;
-    if p.kind = Data && not p.trimmed then
-      port.tx_payload <- port.tx_payload + p.payload;
-    let arrive_after = tx + port.delay in
-    ignore (Sim.schedule t.sim ~after:arrive_after (fun () ->
-        receive t port.peer p));
-    ignore (Sim.schedule t.sim ~after:tx port.tx_done)
+  if not port.up then port.busy <- false
+  else
+    match Prio_queue.dequeue port.q with
+    | None -> port.busy <- false
+    | Some p ->
+      if !Trace.enabled then trace_dequeue t port p;
+      port.busy <- true;
+      let tx = Units.tx_time ~rate:port.cur_rate ~bytes:p.wire in
+      port.tx_bytes <- port.tx_bytes + p.wire;
+      if p.kind = Data && not p.trimmed then
+        port.tx_payload <- port.tx_payload + p.payload;
+      (match
+         (match port.fault_filter with None -> None | Some f -> f p)
+       with
+       | Some reason -> fault_kill t port p reason
+       | None ->
+         let arrive_after = tx + port.delay + port.extra_delay in
+         ignore (Sim.schedule t.sim ~after:arrive_after (fun () ->
+             receive t port.peer p)));
+      ignore (Sim.schedule t.sim ~after:tx port.tx_done)
 
 and send_on_port t (port : port) (p : Packet.t) =
+  (* A downed egress discards new arrivals (no carrier, no route), as
+     a real switch does; packets already queued park until link-up. *)
+  if not port.up then fault_kill t port p 'D'
+  else begin
   stamp_int t port p;
   if !Trace.enabled then begin
     let was_ce = p.ecn_ce in
@@ -164,6 +199,7 @@ and send_on_port t (port : port) (p : Packet.t) =
     match Prio_queue.enqueue port.q p with
     | Prio_queue.Dropped -> ()
     | Enqueued | Trimmed -> if not port.busy then start_tx t port
+  end
 
 and receive t nid (p : Packet.t) =
   let node = t.nodes.(nid) in
@@ -199,6 +235,9 @@ let send t (p : Packet.t) =
   if not host.is_host then invalid_arg "Net.send: src is not a host";
   send_on_port t host.ports.(0) p
 
+(* Restart a parked transmit loop (after link-up / unpause). *)
+let kick t (port : port) = if port.up && not port.busy then start_tx t port
+
 let delivered t = t.delivered
 let undeliverable t = t.undeliverable
 
@@ -222,6 +261,11 @@ let total_marks t =
 let total_tx_bytes t =
   Array.fold_left (fun acc n ->
       Array.fold_left (fun acc p -> acc + p.tx_bytes) acc n.ports)
+    0 t.nodes
+
+let total_fault_drops t =
+  Array.fold_left (fun acc n ->
+      Array.fold_left (fun acc p -> acc + p.fault_drops) acc n.ports)
     0 t.nodes
 
 (* Periodic probes: sample every port's queue occupancy, the link

@@ -20,6 +20,20 @@ type port = {
   mutable tx_done : unit -> unit;
   (** Preallocated end-of-serialization continuation; installed by
       {!create}, not meant to be called by users. *)
+  mutable up : bool;
+  (** [false] parks the transmit loop and discards new arrivals as
+      fault drops (reason 'D'); already-queued packets park until
+      {!kick} after the port is raised again. Default [true]. *)
+  mutable cur_rate : Units.rate;
+  (** Effective line rate; equals [rate] unless degraded. *)
+  mutable extra_delay : Units.time;
+  (** Added one-way propagation delay; 0 unless degraded. *)
+  mutable fault_filter : (Packet.t -> char option) option;
+  (** Consulted once per transmitted packet; [Some reason] loses the
+      packet on the wire ('L' random loss, 'C' corruption). The packet
+      still occupies its serialization time. Default [None]. *)
+  mutable fault_drops : int;
+  (** Packets killed by the filter or discarded while down. *)
 }
 
 type node = {
@@ -65,9 +79,15 @@ val start_probes : t -> interval:Units.time -> until:Units.time -> unit
     ([enqueue]/[dequeue]/[ecn_mark]/[drop]/[trim]) are emitted
     unconditionally whenever tracing is enabled. *)
 
+val kick : t -> port -> unit
+(** Restart a port's transmit loop if it is up and idle. Fault
+    injectors call this after raising [up] so queued packets start
+    draining again; a no-op on busy or downed ports. *)
+
 val delivered : t -> int
 val undeliverable : t -> int
 val total_drops : t -> int
 val total_drops_band : t -> lp:bool -> int
 val total_marks : t -> int
 val total_tx_bytes : t -> int
+val total_fault_drops : t -> int

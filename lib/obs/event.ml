@@ -39,6 +39,15 @@ type t =
       node : int; port : int; tx_bytes : int; util_ppm : int;
     }
   | Probe_dt of { node : int; port : int; hp : int; lp : int }
+  | Link_down of { node : int; port : int }
+  | Link_up of { node : int; port : int }
+  | Link_degrade of {
+      node : int; port : int; rate_ppm : int; extra_delay : int;
+    }
+  | Fault_drop of {
+      node : int; port : int; flow : int; seq : int;
+      kind : char; size : int; reason : char;
+    }
 
 let tag = function
   | Enqueue _ -> "enqueue"
@@ -55,6 +64,10 @@ let tag = function
   | Probe_queue _ -> "probe_queue"
   | Probe_link _ -> "probe_link"
   | Probe_dt _ -> "probe_dt"
+  | Link_down _ -> "link_down"
+  | Link_up _ -> "link_up"
+  | Link_degrade _ -> "link_degrade"
+  | Fault_drop _ -> "fault_drop"
 
 (* --- writer -------------------------------------------------------- *)
 
@@ -121,7 +134,17 @@ let to_json_line ~ts ev =
      buf_int b "tx_bytes" tx_bytes; buf_int b "util_ppm" util_ppm
    | Probe_dt { node; port; hp; lp } ->
      buf_int b "node" node; buf_int b "port" port;
-     buf_int b "hp" hp; buf_int b "lp" lp);
+     buf_int b "hp" hp; buf_int b "lp" lp
+   | Link_down { node; port } | Link_up { node; port } ->
+     buf_int b "node" node; buf_int b "port" port
+   | Link_degrade { node; port; rate_ppm; extra_delay } ->
+     buf_int b "node" node; buf_int b "port" port;
+     buf_int b "rate_ppm" rate_ppm; buf_int b "extra_delay" extra_delay
+   | Fault_drop { node; port; flow; seq; kind; size; reason } ->
+     buf_int b "node" node; buf_int b "port" port;
+     buf_int b "flow" flow; buf_int b "seq" seq;
+     buf_char b "kind" kind; buf_int b "size" size;
+     buf_char b "reason" reason);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -242,6 +265,24 @@ let of_json_line line =
       let* node = i "node" in let* port = i "port" in
       let* hp = i "hp" in let* lp = i "lp" in
       Some (Probe_dt { node; port; hp; lp })
+    | "link_down" ->
+      let* node = i "node" in let* port = i "port" in
+      Some (Link_down { node; port })
+    | "link_up" ->
+      let* node = i "node" in let* port = i "port" in
+      Some (Link_up { node; port })
+    | "link_degrade" ->
+      let* node = i "node" in let* port = i "port" in
+      let* rate_ppm = i "rate_ppm" in
+      let* extra_delay = i "extra_delay" in
+      Some (Link_degrade { node; port; rate_ppm; extra_delay })
+    | "fault_drop" ->
+      let* node = i "node" in let* port = i "port" in
+      let* flow = i "flow" in let* seq = i "seq" in
+      let* kind = char_field line "kind" in
+      let* size = i "size" in
+      let* reason = char_field line "reason" in
+      Some (Fault_drop { node; port; flow; seq; kind; size; reason })
     | _ -> None
   in
   Some (ts, ev)

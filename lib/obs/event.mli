@@ -67,6 +67,21 @@ type t =
       hp : int;  (** current dynamic threshold of the high band *)
       lp : int;  (** current dynamic threshold of the low band *)
     }
+  | Link_down of { node : int; port : int }
+      (** Fault injection took the egress port down. *)
+  | Link_up of { node : int; port : int }
+      (** The port came back up (also closes a degrade window). *)
+  | Link_degrade of {
+      node : int; port : int;
+      rate_ppm : int;     (** effective rate as ppm of nominal *)
+      extra_delay : int;  (** added one-way latency, ns *)
+    }
+  | Fault_drop of {
+      node : int; port : int; flow : int; seq : int;
+      kind : char; size : int;
+      reason : char;  (** 'L' random loss, 'C' corruption (BER),
+                          'D' discarded at a downed egress *)
+    }
 
 val tag : t -> string
 (** Stable lowercase tag, e.g. ["enqueue"], ["ecn_mark"]. *)

@@ -12,6 +12,8 @@ type t = {
   drops : int;
   trims : int;
   retransmits : int;
+  fault_drops : int;
+  link_events : int;
   flows_started : int;
   flows_done : int;
   t_first : int;
@@ -21,6 +23,7 @@ type t = {
 let create () =
   { events = 0; by_tag = []; max_occ = []; data_enqueues = 0;
     marks = 0; drops = 0; trims = 0; retransmits = 0;
+    fault_drops = 0; link_events = 0;
     flows_started = 0; flows_done = 0; t_first = max_int; t_last = 0 }
 
 let bump assoc key by =
@@ -62,6 +65,9 @@ let add t ts (ev : Event.t) =
              max_occ = bump t.max_occ (node, port) occ }
   | Trim _ -> { t with trims = t.trims + 1 }
   | Retransmit _ -> { t with retransmits = t.retransmits + 1 }
+  | Fault_drop _ -> { t with fault_drops = t.fault_drops + 1 }
+  | Link_down _ | Link_up _ | Link_degrade _ ->
+    { t with link_events = t.link_events + 1 }
   | Flow_start _ -> { t with flows_started = t.flows_started + 1 }
   | Flow_done _ -> { t with flows_done = t.flows_done + 1 }
   | Cwnd_update _ | Loop_switch _ | Rto_fire _ | Probe_link _
@@ -91,6 +97,9 @@ let pp ppf t =
     t.flows_started t.flows_done t.data_enqueues t.marks
     (let r = mark_rate t in if Float.is_nan r then 0. else r)
     t.drops t.trims t.retransmits;
+  if t.fault_drops > 0 || t.link_events > 0 then
+    Fmt.pf ppf "@,faults        %d drops, %d link events"
+      t.fault_drops t.link_events;
   Fmt.pf ppf "@,by event:";
   List.iter
     (fun (tag, n) -> Fmt.pf ppf "@,  %-12s %d" tag n)

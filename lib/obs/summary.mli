@@ -12,6 +12,8 @@ type t = {
   drops : int;
   trims : int;
   retransmits : int;
+  fault_drops : int;                   (** injected loss/corruption *)
+  link_events : int;                   (** link_down/up/degrade *)
   flows_started : int;
   flows_done : int;
   t_first : int;                       (** [max_int] when empty *)

@@ -23,8 +23,16 @@ let star ?(n = 4) ?(rate = Units.gbps 10) ?(delay = Units.us 2) ?qcfg
   let ctx = Context.of_topology ~rto_min:(Units.ms 1) ~rng topo in
   (sim, topo, ctx)
 
+(* After a run to quiescence every scheduled event must have fired or
+   been cancelled. A non-zero count is a timer leak: some pacer or RTO
+   outlived its flow and would keep a longer simulation spinning. *)
+let assert_drained sim =
+  Alcotest.(check int) "sim drained (pending timers)" 0
+    (Sim.pending sim)
+
 (* Launch the given (src, dst, size) flows on a transport and run the
-   simulation to quiescence. Returns the context for inspection. *)
+   simulation to quiescence. Returns the context for inspection.
+   Every e2e test going through here also gets the drain check. *)
 let run_flows ctx (transport : Endpoint.transport) specs =
   let sim = ctx.Context.sim in
   List.iteri
@@ -33,7 +41,8 @@ let run_flows ctx (transport : Endpoint.transport) specs =
        ignore (Sim.schedule_at sim start (fun () ->
            transport.Endpoint.t_start flow)))
     specs;
-  Sim.run ~until:(Units.sec 30) sim
+  Sim.run ~until:(Units.sec 30) sim;
+  assert_drained sim
 
 let fct_of ctx id =
   let recs = Ppt_stats.Fct.records ctx.Context.fct in

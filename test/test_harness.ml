@@ -124,13 +124,14 @@ let test_paper_shape_ppt_vs_dctcp () =
     true (p.Ppt_stats.Fct.small_p99 < d.Ppt_stats.Fct.small_p99)
 
 let test_figures_registry () =
-  check Alcotest.int "35 experiments registered" 35
+  check Alcotest.int "36 experiments registered" 36
     (List.length Figures.all);
   List.iter
     (fun id ->
        check Alcotest.bool (id ^ " findable") true
          (Figures.find id <> None))
-    [ "fig1"; "fig12"; "fig29"; "tab1"; "tab5"; "ext1"; "ext3" ];
+    [ "fig1"; "fig12"; "fig29"; "tab1"; "tab5"; "ext1"; "ext3";
+      "chaos" ];
   check Alcotest.bool "unknown id rejected" true
     (Figures.find "fig99" = None)
 

@@ -9,4 +9,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("harness", Test_harness.suite);
       ("invariants", Test_invariants.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("faults", Test_faults.suite) ]

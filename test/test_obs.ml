@@ -94,7 +94,21 @@ let gen_event =
        return (Event.Probe_link { node; port; tx_bytes; util_ppm }));
       (nat >>= fun node -> nat >>= fun port -> nat >>= fun hp ->
        nat >>= fun lp ->
-       return (Event.Probe_dt { node; port; hp; lp })) ]
+       return (Event.Probe_dt { node; port; hp; lp }));
+      (nat >>= fun node -> nat >>= fun port ->
+       oneofl
+         [ Event.Link_down { node; port };
+           Event.Link_up { node; port } ]);
+      (nat >>= fun node -> nat >>= fun port -> nat >>= fun rate_ppm ->
+       nat >>= fun extra_delay ->
+       return
+         (Event.Link_degrade { node; port; rate_ppm; extra_delay }));
+      (nat >>= fun node -> nat >>= fun port -> nat >>= fun flow ->
+       nat >>= fun seq -> kind >>= fun kind -> nat >>= fun size ->
+       oneofl [ 'L'; 'C'; 'D' ] >>= fun reason ->
+       return
+         (Event.Fault_drop { node; port; flow; seq; kind; size; reason }))
+    ]
 
 let prop_json_roundtrip =
   QCheck.Test.make ~name:"event: JSONL roundtrip is lossless"
