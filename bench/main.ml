@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --only fig12,tab2 # a subset
      dune exec bench/main.exe -- --flows-scale 0.5 # quicker run
      dune exec bench/main.exe -- --full            # 144-host fabrics
+     dune exec bench/main.exe -- --jobs 4          # sharded workers
      dune exec bench/main.exe -- --report          # BENCH_<rev>.json *)
 
 open Ppt_harness
@@ -16,6 +17,7 @@ let () =
   let flows_scale = ref 1.0 in
   let seed = ref 1 in
   let full = ref false in
+  let jobs = ref 1 in
   let skip_micro = ref false in
   let list_only = ref false in
   let report = ref false in
@@ -30,11 +32,14 @@ let () =
       ("--seed", Arg.Set_int seed, "N random seed (default 1)");
       ("--full", Arg.Set full,
        " use the full-size 144-host fabrics (slow)");
+      ("--jobs", Arg.Set_int jobs,
+       "N run each experiment's shards on N worker processes \
+        (default 1; output is identical either way)");
       ("--skip-micro", Arg.Set skip_micro,
        " skip the bechamel micro-benchmarks");
       ("--list", Arg.Set list_only, " list experiment ids and exit");
       ("--report", Arg.Set report,
-       " time fig12/tab2 + micros and write BENCH_<rev>.json");
+       " time fig12 + micros and write BENCH_<rev>.json");
       ("--report-file", Arg.Set_string report_file,
        "FILE report output path (implies --report)") ]
   in
@@ -44,16 +49,18 @@ let () =
   let ppf = Format.std_formatter in
   if !list_only then begin
     List.iter
-      (fun (id, descr, _) -> Format.fprintf ppf "%-8s %s@\n" id descr)
+      (fun e ->
+         Format.fprintf ppf "%-8s %s@\n" e.Figures.e_id
+           e.Figures.e_descr)
       Figures.all;
     Format.pp_print_flush ppf ()
   end else if !report || !report_file <> "" then begin
     let opts =
       { Figures.flows_scale = !flows_scale; seed = !seed; full = !full }
     in
-    let ids = if !only = [] then [ "fig12"; "tab2" ] else !only in
+    let ids = if !only = [] then [ "fig12" ] else !only in
     let path = if !report_file = "" then None else Some !report_file in
-    Report.emit ?path ~ids ~micro:(not !skip_micro) opts ppf;
+    Report.emit ?path ~ids ~jobs:!jobs ~micro:(not !skip_micro) opts ppf;
     Format.pp_print_flush ppf ()
   end else begin
     let opts =
@@ -72,14 +79,21 @@ let () =
           ids
     in
     Format.fprintf ppf
-      "PPT reproduction bench (scale=%.2f, seed=%d, fabric=%s)@\n"
+      "PPT reproduction bench (scale=%.2f, seed=%d, fabric=%s, jobs=%d)@\n"
       !flows_scale !seed
-      (if !full then "full 144-host" else "scaled 32-host");
+      (if !full then "full 144-host" else "scaled 32-host")
+      !jobs;
     List.iter
-      (fun (id, _descr, f) ->
+      (fun e ->
          let t0 = Unix.gettimeofday () in
-         f opts ppf;
-         Format.fprintf ppf "[%s done in %.1fs]@\n" id
+         (if !jobs > 1 then begin
+            let r =
+              Parallel.sweep ~jobs:!jobs ~ids:[ e.Figures.e_id ] opts
+            in
+            Format.pp_print_string ppf r.Parallel.output
+          end
+          else Figures.render e opts ppf);
+         Format.fprintf ppf "[%s done in %.1fs]@\n" e.Figures.e_id
            (Unix.gettimeofday () -. t0);
          Format.pp_print_flush ppf ())
       selected;

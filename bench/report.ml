@@ -2,11 +2,16 @@
    experiments (wall-clock seconds and simulator events/second) plus
    the bechamel micro-benchmarks, and writes the results to a
    BENCH_<rev>.json file so perf regressions can be tracked across
-   revisions (schema documented in HACKING.md). *)
+   revisions (schema documented in HACKING.md).
+
+   Macro experiments run through the sharded sweep runner
+   (lib/harness/parallel.ml), so [jobs] > 1 times the same work
+   fanned out across worker processes; the report records the jobs
+   count and each shard's wall so speedups are attributable. *)
 
 open Ppt_harness
 
-let schema_version = 1
+let schema_version = 2
 
 let git_rev () =
   try
@@ -22,22 +27,36 @@ type macro = {
   m_id : string;
   m_wall_s : float;
   m_events : int;
+  m_shards : (string * float) list;   (* unit key, wall seconds *)
 }
 
-(* A formatter that discards everything: the experiments' tables are
-   not part of the report, only their cost is. *)
-let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
-
-let run_macro (opts : Figures.opts) id =
-  match Figures.find id with
-  | None -> invalid_arg (Printf.sprintf "Report: unknown experiment %s" id)
-  | Some (_, _, f) ->
-    let events0 = !Runner.total_events in
-    let t0 = Unix.gettimeofday () in
-    f opts null_ppf;
-    let wall = Unix.gettimeofday () -. t0 in
-    { m_id = id; m_wall_s = wall;
-      m_events = !Runner.total_events - events0 }
+let run_macro ?(jobs = 1) (opts : Figures.opts) id =
+  (match Figures.find id with
+   | None ->
+     invalid_arg (Printf.sprintf "Report: unknown experiment %s" id)
+   | Some e ->
+     (* print-only tables process no simulator events: timing them
+        yields a degenerate `wall_s: 0.000, events: 0` row that only
+        dilutes the report *)
+     if not e.Figures.e_sim then
+       invalid_arg
+         (Printf.sprintf
+            "Report: %s is print-only (no simulation) and cannot be a \
+             macro benchmark"
+            id));
+  let r = Parallel.sweep ~jobs ~ids:[ id ] opts in
+  (match r.Parallel.failures with
+   | (key, msg) :: _ ->
+     invalid_arg (Printf.sprintf "Report: shard %s failed: %s" key msg)
+   | [] -> ());
+  if r.Parallel.events = 0 then
+    invalid_arg
+      (Printf.sprintf "Report: %s processed zero simulator events" id);
+  { m_id = id; m_wall_s = r.Parallel.wall; m_events = r.Parallel.events;
+    m_shards =
+      List.map
+        (fun s -> (s.Parallel.sh_key, s.Parallel.sh_wall))
+        r.Parallel.shards }
 
 (* Hand-rolled JSON writer; the strings involved are experiment ids,
    test names and a git revision, but escape defensively anyway. *)
@@ -59,7 +78,7 @@ let json_float b f =
   if Float.is_nan f then Buffer.add_string b "null"
   else Buffer.add_string b (Printf.sprintf "%.3f" f)
 
-let to_json ~rev ~(opts : Figures.opts) ~micros ~macros =
+let to_json ~rev ~(opts : Figures.opts) ~jobs ~micros ~macros =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"schema\": %d,\n" schema_version);
@@ -72,6 +91,7 @@ let to_json ~rev ~(opts : Figures.opts) ~micros ~macros =
     (Printf.sprintf "  \"seed\": %d,\n" opts.Figures.seed);
   Buffer.add_string b
     (Printf.sprintf "  \"full\": %b,\n" opts.Figures.full);
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string b "  \"micro_ns_per_iter\": {";
   List.iteri
     (fun i (name, est) ->
@@ -96,16 +116,27 @@ let to_json ~rev ~(opts : Figures.opts) ~micros ~macros =
        json_float b
          (if m.m_wall_s > 0. then float_of_int m.m_events /. m.m_wall_s
           else nan);
-       Buffer.add_string b " }")
+       Buffer.add_string b ",\n      \"shards\": [";
+       List.iteri
+         (fun j (key, wall) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b "\n        { \"key\": ";
+            json_string b key;
+            Buffer.add_string b
+              (Printf.sprintf ", \"wall_s\": %.3f }" wall))
+         m.m_shards;
+       if m.m_shards <> [] then Buffer.add_string b "\n      ";
+       Buffer.add_string b "] }")
     macros;
   if macros <> [] then Buffer.add_string b "\n  ";
   Buffer.add_string b "]\n}\n";
   Buffer.contents b
 
 (* Run the report and write it to [path] (default BENCH_<rev>.json).
-   [ids] are the macro experiments to time; [micro] includes the
-   bechamel suite. Progress goes to [ppf]. *)
-let emit ?path ?(ids = [ "fig12"; "tab2" ]) ?(micro = true)
+   [ids] are the macro experiments to time (simulating experiments
+   only); [jobs] fans each one out over worker processes; [micro]
+   includes the bechamel suite. Progress goes to [ppf]. *)
+let emit ?path ?(ids = [ "fig12" ]) ?(jobs = 1) ?(micro = true)
     (opts : Figures.opts) ppf =
   let rev = git_rev () in
   let path =
@@ -116,8 +147,8 @@ let emit ?path ?(ids = [ "fig12"; "tab2" ]) ?(micro = true)
   let macros =
     List.map
       (fun id ->
-         Format.fprintf ppf "report: running %s ...@." id;
-         let m = run_macro opts id in
+         Format.fprintf ppf "report: running %s (jobs=%d) ...@." id jobs;
+         let m = run_macro ~jobs opts id in
          Format.fprintf ppf
            "report: %s %.1fs, %d events (%.2e events/s)@." id m.m_wall_s
            m.m_events
@@ -132,6 +163,6 @@ let emit ?path ?(ids = [ "fig12"; "tab2" ]) ?(micro = true)
     end else []
   in
   let oc = open_out path in
-  output_string oc (to_json ~rev ~opts ~micros ~macros);
+  output_string oc (to_json ~rev ~opts ~jobs ~micros ~macros);
   close_out oc;
   Format.fprintf ppf "report: wrote %s@." path

@@ -282,9 +282,9 @@ let figure_cmd =
   let run id flows_scale seed full =
     match Figures.find id with
     | None -> `Error (false, "unknown experiment id: " ^ id)
-    | Some (_, _, f) ->
+    | Some e ->
       let opts = { Figures.flows_scale; seed; full } in
-      f opts Format.std_formatter;
+      Figures.render e opts Format.std_formatter;
       Format.pp_print_flush Format.std_formatter ();
       `Ok ()
   in
@@ -293,6 +293,99 @@ let figure_cmd =
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures/tables")
+    term
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let ids_arg =
+    let doc =
+      "Experiment ids to sweep (default: every registered experiment)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let flows_scale_arg =
+    let doc = "Scale every experiment's flow count." in
+    Arg.(value & opt float 1.0 & info [ "flows-scale" ] ~docv:"F" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker processes. 1 runs the units serially in-process; either \
+       way the merged output is byte-identical."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Per-shard timeout in seconds; a shard exceeding it is killed \
+       and retried on a fresh worker."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume from the shard journal under $(b,_sweep/): shards a \
+       previous (possibly killed) sweep of the same ids and options \
+       already completed are not re-run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress per-shard progress on stderr." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run ids flows_scale seed full jobs timeout resume quiet =
+    let ids =
+      match ids with
+      | [] -> List.map (fun e -> e.Figures.e_id) Figures.all
+      | ids -> ids
+    in
+    match
+      List.find_opt (fun id -> Figures.find id = None) ids
+    with
+    | Some id -> `Error (false, "unknown experiment id: " ^ id)
+    | None ->
+      let opts = { Figures.flows_scale; seed; full } in
+      let progress =
+        if quiet then ignore
+        else fun key -> Printf.eprintf "[sweep] done %s\n%!" key
+      in
+      let journal = Parallel.default_journal ids opts in
+      let r =
+        Parallel.sweep ~jobs ?timeout ~journal ~resume ~progress ~ids
+          opts
+      in
+      (* results on stdout — byte-identical across --jobs values;
+         everything else on stderr *)
+      print_string r.Parallel.output;
+      flush stdout;
+      Printf.eprintf
+        "[sweep] %d shard(s), jobs=%d, wall=%.2fs, events=%d%s%s\n%!"
+        (List.length r.Parallel.shards)
+        r.Parallel.jobs r.Parallel.wall r.Parallel.events
+        (if r.Parallel.resumed > 0 then
+           Printf.sprintf ", resumed=%d" r.Parallel.resumed
+         else "")
+        (match r.Parallel.failures with
+         | [] -> ""
+         | fs -> Printf.sprintf ", FAILED=%d" (List.length fs));
+      List.iter
+        (fun (key, msg) ->
+           Printf.eprintf "[sweep] failed shard %s: %s\n%!" key msg)
+        r.Parallel.failures;
+      if r.Parallel.failures = [] then `Ok ()
+      else `Error (false, "sweep finished with failed shards")
+  in
+  let term =
+    Term.(ret (const run $ ids_arg $ flows_scale_arg $ seed_arg
+               $ full_arg $ jobs_arg $ timeout_arg $ resume_arg
+               $ quiet_arg))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run experiments as a sharded sweep across worker processes")
     term
 
 (* ---- list ---- *)
@@ -305,7 +398,8 @@ let list_cmd =
     Format.printf "workloads: web-search data-mining memcached@.";
     Format.printf "experiments:@.";
     List.iter
-      (fun (id, descr, _) -> Format.printf "  %-8s %s@." id descr)
+      (fun e ->
+         Format.printf "  %-8s %s@." e.Figures.e_id e.Figures.e_descr)
       Figures.all;
     `Ok ()
   in
@@ -317,4 +411,5 @@ let () =
   let doc = "PPT: a pragmatic transport for datacenters (simulator)" in
   let info = Cmd.info "ppt_sim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ run_cmd; compare_cmd; figure_cmd; list_cmd ]))
+                    [ run_cmd; compare_cmd; figure_cmd; sweep_cmd;
+                      list_cmd ]))

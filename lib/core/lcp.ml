@@ -128,6 +128,16 @@ let arm_watchdog t =
   t.watchdog <-
     Some (Sim.schedule t.ctx.Context.sim ~after:(rtt t) t.watchdog_fire)
 
+(* Inter-segment gap that spreads [window] bytes evenly over one RTT:
+   rtt * sent / window, rounded to nearest. Truncating instead (the
+   old behaviour) paced every segment a fraction of a tick early, and
+   the error compounded across a window — enough to shift timelines. *)
+let pace_interval ~rtt ~sent ~window =
+  let exact =
+    float_of_int rtt *. float_of_int sent /. float_of_int window
+  in
+  max 1 (int_of_float (Float.round exact))
+
 (* Pace the remaining bytes of the initial window at I/RTT (EWD);
    without EWD the whole window goes out back-to-back, at NIC line
    rate. Window state lives in [t] (see the reusable-slot comment). *)
@@ -141,12 +151,10 @@ let rec pace_tick t =
       if t.pace_remaining > 0 then begin
         if t.p.ewd then begin
           let interval =
-            int_of_float
-              (float_of_int (rtt t) *. float_of_int sent
-               /. float_of_int t.pace_window)
+            pace_interval ~rtt:(rtt t) ~sent ~window:t.pace_window
           in
           t.pace_timer <-
-            Some (Sim.schedule t.ctx.Context.sim ~after:(max 1 interval)
+            Some (Sim.schedule t.ctx.Context.sim ~after:interval
                     t.pace_fire)
         end else
           pace_tick t

@@ -46,3 +46,8 @@ val case2_window : t -> alpha:float -> int
 
 val on_rtt_boundary : t -> unit
 (** Exposed for tests: the per-RTT case-2 trigger. *)
+
+val pace_interval : rtt:int -> sent:int -> window:int -> int
+(** EWD pacer gap: [rtt * sent / window] rounded to nearest (never
+    below 1 tick), so a window paces out over one whole RTT instead of
+    systematically early under truncation. *)

@@ -35,6 +35,14 @@ let horizon = Units.sec 120
    events/second. *)
 let total_events = ref 0
 
+(* Run [f] and also return how many simulator events it processed —
+   the per-process delta of [total_events]. Parallel sweeps measure
+   this inside each worker and ship the delta home with the result. *)
+let with_events_counted f =
+  let before = !total_events in
+  let v = f () in
+  (v, !total_events - before)
+
 let qcfg_of (cfg : Config.t) (scheme : Schemes.t) ~lp_buffer_cap =
   let buffer_bytes =
     match scheme.Schemes.s_buffer_override with

@@ -45,10 +45,13 @@ let avg_of = function
     List.fold_left (fun acc r -> acc +. fct_ms r) 0. rs
     /. float_of_int (List.length rs)
 
-let percentile_of p = function
+(* Interpolating percentile over a float sample: rank p/100*(n-1),
+   linear between the surrounding order statistics. Every percentile
+   this module reports goes through here. *)
+let percentile_of_values p = function
   | [] -> nan
-  | rs ->
-    let arr = Array.of_list (List.map fct_ms rs) in
+  | xs ->
+    let arr = Array.of_list xs in
     Array.sort compare arr;
     let n = Array.length arr in
     let rank = p /. 100. *. float_of_int (n - 1) in
@@ -58,6 +61,8 @@ let percentile_of p = function
       let frac = rank -. float_of_int i in
       arr.(i) +. ((arr.(i + 1) -. arr.(i)) *. frac)
     end
+
+let percentile_of p rs = percentile_of_values p (List.map fct_ms rs)
 
 let avg ?lo ?hi t = avg_of (filter ?lo ?hi t)
 let percentile ?lo ?hi t p = percentile_of p (filter ?lo ?hi t)
@@ -103,12 +108,12 @@ let slowdown_stats ?lo ?hi ~rate ~base_rtt t =
   match slowdowns ?lo ?hi ~rate ~base_rtt t with
   | [] -> (nan, nan)
   | xs ->
-    let arr = Array.of_list xs in
-    Array.sort compare arr;
-    let n = Array.length arr in
-    let mean = Array.fold_left ( +. ) 0. arr /. float_of_int n in
-    let p99 = arr.(min (n - 1) (int_of_float (0.99 *. float_of_int n))) in
-    (mean, p99)
+    let n = List.length xs in
+    let mean = List.fold_left ( +. ) 0. xs /. float_of_int n in
+    (* interpolated, like every other percentile here — the former
+       index formula [0.99 * n] degenerated to the sample maximum for
+       n <= 100 *)
+    (mean, percentile_of_values 99. xs)
 
 (* Jain's fairness index over per-flow average throughput (bytes per
    unit of flow lifetime): 1.0 = perfectly fair. *)

@@ -29,6 +29,12 @@ val avg : ?lo:int -> ?hi:int -> t -> float
 val percentile : ?lo:int -> ?hi:int -> t -> float -> float
 (** Interpolated percentile (ms) of the same filter. *)
 
+val percentile_of_values : float -> float list -> float
+(** [percentile_of_values p xs]: interpolating percentile over a raw
+    float sample — rank [p/100 * (n-1)], linear between the
+    surrounding order statistics; [nan] when empty. Every percentile
+    this module reports (FCT and slowdown alike) uses this. *)
+
 type summary = {
   flows : int;
   overall_avg : float;

@@ -57,14 +57,16 @@ let fraction_below t x =
     p0 +. ((p1 -. p0) *. (xf -. x0) /. (x1 -. x0))
   end
 
-(* Inverse-CDF sampling; returns at least 1 byte. *)
+(* Inverse-CDF sampling; returns at least 1 byte. Rounds to nearest —
+   truncating here shaved half a byte off every draw, biasing the
+   empirical mean below [mean t]. *)
 let sample t rng =
   let u = Ppt_engine.Rng.float rng in
   let rec find i = if snd t.points.(i) >= u then i else find (i + 1) in
   let i = find 1 in
   let x0, p0 = t.points.(i - 1) and x1, p1 = t.points.(i) in
   let x = x0 +. ((x1 -. x0) *. (u -. p0) /. (p1 -. p0)) in
-  max 1 (int_of_float x)
+  max 1 (int_of_float (Float.round x))
 
 let max_size t = int_of_float (fst t.points.(Array.length t.points - 1))
 

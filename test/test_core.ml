@@ -246,6 +246,21 @@ let test_wire_priorities () =
   check Alcotest.bool "identified flow LCP data all P7" true
     (!seen_l <> [] && List.for_all (fun p -> p = 7) !seen_l)
 
+let test_pace_interval_rounds () =
+  (* the testbed numbers: 80us RTT, one 1460B segment of a 300-segment
+     window -> 80_000 * 1460 / 438_000 = 266.67 ticks. Truncation gave
+     266, pacing the whole window systematically early. *)
+  check Alcotest.int "rounds up past the half" 267
+    (Lcp.pace_interval ~rtt:80_000 ~sent:1460 ~window:438_000);
+  (* 116_800_000 / 439_000 = 266.06: below the half, stays 266 *)
+  check Alcotest.int "rounds down below the half" 266
+    (Lcp.pace_interval ~rtt:80_000 ~sent:1460 ~window:439_000);
+  check Alcotest.int "never below one tick" 1
+    (Lcp.pace_interval ~rtt:10 ~sent:1 ~window:1_000);
+  (* exact division is untouched by rounding *)
+  check Alcotest.int "exact division unchanged" 400
+    (Lcp.pace_interval ~rtt:80_000 ~sent:1460 ~window:292_000)
+
 let suite =
   [ Alcotest.test_case "tagging: identified large" `Quick
       test_tagging_identified;
@@ -269,5 +284,7 @@ let suite =
       test_lcp_opens_and_closes;
     Alcotest.test_case "lcp: delayed to 2nd RTT for large" `Quick
       test_lcp_delayed_for_large;
+    Alcotest.test_case "lcp: pacer interval rounds" `Quick
+      test_pace_interval_rounds;
     Alcotest.test_case "tagging: wire priorities" `Quick
       test_wire_priorities ]

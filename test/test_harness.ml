@@ -133,7 +133,43 @@ let test_figures_registry () =
     [ "fig1"; "fig12"; "fig29"; "tab1"; "tab5"; "ext1"; "ext3";
       "chaos" ];
   check Alcotest.bool "unknown id rejected" true
-    (Figures.find "fig99" = None)
+    (Figures.find "fig99" = None);
+  (* the static tables are flagged print-only; everything else
+     simulates *)
+  List.iter
+    (fun e ->
+       let expect_sim =
+         not (List.mem e.Figures.e_id
+                [ "tab1"; "tab2"; "tab3"; "tab4"; "tab5" ])
+       in
+       check Alcotest.bool (e.Figures.e_id ^ " sim flag") expect_sim
+         e.Figures.e_sim)
+    Figures.all
+
+(* The decomposition contract: unit keys are unique within each
+   experiment, and the multi-unit experiments really decompose. *)
+let test_figures_units_unique () =
+  List.iter
+    (fun e ->
+       let units = e.Figures.e_units Figures.default_opts in
+       let names = List.map (fun u -> u.Figures.u_name) units in
+       check Alcotest.bool (e.Figures.e_id ^ ": has units") true
+         (units <> []);
+       check Alcotest.int
+         (e.Figures.e_id ^ ": unit names unique")
+         (List.length names)
+         (List.length (List.sort_uniq compare names)))
+    Figures.all;
+  let n_units id =
+    match Figures.find id with
+    | Some e -> List.length (e.Figures.e_units Figures.default_opts)
+    | None -> Alcotest.fail ("missing " ^ id)
+  in
+  check Alcotest.int "fig12 = head + 6 headline schemes" 7
+    (n_units "fig12");
+  check Alcotest.int "fig8 = head + 4 loads x (head + 4 schemes)" 21
+    (n_units "fig8");
+  check Alcotest.bool "tab2 is a single unit" true (n_units "tab2" = 1)
 
 let test_static_tables_print () =
   let buf = Buffer.create 4096 in
@@ -141,7 +177,7 @@ let test_static_tables_print () =
   List.iter
     (fun id ->
        match Figures.find id with
-       | Some (_, _, f) -> f Figures.default_opts ppf
+       | Some e -> Figures.render e Figures.default_opts ppf
        | None -> Alcotest.fail ("missing " ^ id))
     [ "tab1"; "tab2"; "tab3"; "tab4"; "tab5" ];
   Format.pp_print_flush ppf ();
@@ -177,5 +213,7 @@ let suite =
     Alcotest.test_case "paper shape: ppt beats dctcp" `Slow
       test_paper_shape_ppt_vs_dctcp;
     Alcotest.test_case "figures: registry" `Quick test_figures_registry;
+    Alcotest.test_case "figures: unit decomposition" `Quick
+      test_figures_units_unique;
     Alcotest.test_case "figures: static tables" `Quick
       test_static_tables_print ]

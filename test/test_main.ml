@@ -8,6 +8,7 @@ let () =
       ("core", Test_core.suite);
       ("baselines", Test_baselines.suite);
       ("harness", Test_harness.suite);
+      ("sweep", Test_sweep.suite);
       ("invariants", Test_invariants.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite) ]

@@ -101,6 +101,31 @@ let test_slowdown_stats_filtering () =
   check Alcotest.bool "filtered differs from unfiltered" true
     (p99_small <> p99_all || Float.is_nan p99_small = false)
 
+let test_slowdown_p99_interpolates () =
+  let rate = Ppt_engine.Units.gbps 10 and base_rtt = 1_000_000 in
+  let ideal = Ppt_engine.Units.tx_time ~rate ~bytes:1 + base_rtt in
+  let t = Fct.create () in
+  for i = 1 to 100 do
+    Fct.add t (rc ~flow:i ~size:1 ~finish:(i * ideal) ())
+  done;
+  let mean, p99 = Fct.slowdown_stats ~rate ~base_rtt t in
+  check (Alcotest.float 1e-6) "mean of 1..100" 50.5 mean;
+  (* interpolated rank 0.99*(n-1) between the 99th and 100th order
+     statistics; the former index formula 0.99*n degenerated to the
+     sample maximum (here 100.0) for every n <= 100 *)
+  check (Alcotest.float 1e-6) "interpolated p99" 99.01 p99
+
+let test_percentile_of_values () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check (Alcotest.float 1e-6) "p99 of 1..100" 99.01
+    (Fct.percentile_of_values 99. xs);
+  check (Alcotest.float 1e-6) "p50 of 1..100" 50.5
+    (Fct.percentile_of_values 50. xs);
+  check (Alcotest.float 1e-6) "p100 is the max" 100.
+    (Fct.percentile_of_values 100. xs);
+  check Alcotest.bool "empty is nan" true
+    (Float.is_nan (Fct.percentile_of_values 99. []))
+
 let test_jain_fairness () =
   let t = Fct.create () in
   (* equal throughputs: index 1.0 *)
@@ -152,6 +177,10 @@ let suite =
     Alcotest.test_case "slowdown: definition" `Quick test_slowdown;
     Alcotest.test_case "slowdown: filtering" `Quick
       test_slowdown_stats_filtering;
+    Alcotest.test_case "slowdown: p99 interpolates" `Quick
+      test_slowdown_p99_interpolates;
+    Alcotest.test_case "percentile: raw values" `Quick
+      test_percentile_of_values;
     Alcotest.test_case "fairness: jain index" `Quick test_jain_fairness;
     Alcotest.test_case "series: sampling" `Quick test_series_sampling;
     Alcotest.test_case "series: utilization probe" `Quick

@@ -94,6 +94,41 @@ let test_sampling_matches_analytics () =
     (abs_float (mean -. Cdf.mean Dists.web_search)
      < 0.05 *. Cdf.mean Dists.web_search)
 
+(* Regression: [sample] rounds the interpolated size to nearest. With
+   truncation the uniform-on-[0,10] CDF sampled to a mean of ~4.6
+   (floor loses half a byte per draw, and the [max 1] floor turns the
+   whole bottom decile into 1s); rounded sampling centres on ~5.05. *)
+let test_cdf_sample_rounds () =
+  let c = Cdf.create [ (0., 0.); (10., 1.) ] in
+  let rng = Rng.create 7 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do sum := !sum + Cdf.sample c rng done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check Alcotest.bool
+    (Printf.sprintf "rounded mean %.3f ~ 5.0" mean)
+    true
+    (abs_float (mean -. 5.0) < 0.2)
+
+(* Every built-in workload's empirical mean converges on the analytic
+   [Cdf.mean], whatever the seed. The data-mining tail is heavy (its
+   std-of-mean is ~3.5%% at 50k draws), hence the 15%% tolerance. *)
+let prop_sample_mean_converges =
+  QCheck.Test.make ~name:"cdf empirical mean matches Cdf.mean" ~count:5
+    QCheck.small_int
+    (fun seed ->
+       List.for_all
+         (fun { Dists.cdf; _ } ->
+            let rng = Rng.create (seed + 1) in
+            let n = 50_000 in
+            let sum = ref 0. in
+            for _ = 1 to n do
+              sum := !sum +. float_of_int (Cdf.sample cdf rng)
+            done;
+            let mean = !sum /. float_of_int n in
+            abs_float (mean -. Cdf.mean cdf) < 0.15 *. Cdf.mean cdf)
+         Dists.all)
+
 let test_by_name () =
   check Alcotest.bool "lookup works" true
     (Dists.by_name "web-search" == Dists.web_search);
@@ -208,6 +243,9 @@ let suite =
     Alcotest.test_case "dists: memcached shape" `Quick test_memcached_shape;
     Alcotest.test_case "dists: sampling matches analytics" `Quick
       test_sampling_matches_analytics;
+    Alcotest.test_case "cdf: sample rounds to nearest" `Quick
+      test_cdf_sample_rounds;
+    QCheck_alcotest.to_alcotest prop_sample_mean_converges;
     Alcotest.test_case "dists: lookup by name" `Quick test_by_name;
     Alcotest.test_case "trace: poisson load" `Quick test_trace_poisson_load;
     Alcotest.test_case "trace: sorted and valid" `Quick
