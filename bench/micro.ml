@@ -15,8 +15,27 @@ let heap_push_pop () =
         Heap.push h ~key:(Rng.int rng 1_000_000) ~tie:i i
       done;
       while not (Heap.is_empty h) do
-        ignore (Heap.pop h)
+        ignore (Heap.pop_exn h)
       done)
+
+(* Skewed timers through the scheduler itself: roughly half the
+   timestamps land inside the calendar wheel's ~262us horizon, the
+   rest spread exponentially out to ~1s, so they sit in the overflow
+   heap and are re-staged into the wheel as it advances. The plain
+   heap micro above cannot see that path. *)
+let sim_calendar_skew () =
+  let rng = Rng.create 13 in
+  let ts =
+    Array.init 256 (fun _ ->
+        let e = 4 + Rng.int rng 26 in            (* 2^4 .. 2^30 ns *)
+        (1 lsl e) + Rng.int rng (1 lsl e))
+  in
+  Staged.stage (fun () ->
+      let sim = Sim.create () in
+      Array.iter
+        (fun at -> ignore (Sim.schedule_at sim at (fun () -> ())))
+        ts;
+      Sim.run sim)
 
 let prio_queue_cycle () =
   let q =
@@ -80,20 +99,24 @@ let small_sim factory () =
       done;
       Sim.run ~until:(Units.sec 1) sim)
 
-(* The same end-to-end run with a ring sink installed: the cost of the
-   trace events themselves. The untraced [small_sim] numbers above are
-   the guard for the tracing-off hot path — every instrumentation site
-   is still compiled in there, behind the single [!Trace.enabled]
-   load. *)
+(* The same end-to-end run with the production binary encoder as the
+   sink: the cost of tracing every event of the run (event
+   construction plus varint encoding into a reused buffer, no file
+   I/O). The untraced [small_sim] numbers above are the guard for the
+   tracing-off hot path — every instrumentation site is still compiled
+   in there, behind the single [!Trace.enabled] load. *)
 let small_sim_traced factory () =
   let inner = Staged.unstage (small_sim factory ()) in
+  let buf = Buffer.create (1 lsl 20) in
   Staged.stage (fun () ->
-      let ring = Ppt_obs.Trace.Ring.create ~capacity:65536 () in
-      Ppt_obs.Trace.with_sink (Ppt_obs.Trace.Ring.sink ring) inner)
+      Buffer.clear buf;
+      let sink ts ev = Ppt_obs.Event.add_binary buf ~ts ev in
+      Ppt_obs.Trace.with_sink sink inner)
 
 let tests =
   Test.make_grouped ~name:"micro" ~fmt:"%s %s"
     [ Test.make ~name:"heap: 256 push+pop" (heap_push_pop ());
+      Test.make ~name:"sim: 256 skewed timers" (sim_calendar_skew ());
       Test.make ~name:"prio-queue: 256 enq+deq" (prio_queue_cycle ());
       Test.make ~name:"cdf: 64 samples" (cdf_sampling ());
       Test.make ~name:"rng: 256 floats" (rng_floats ());
@@ -104,33 +127,55 @@ let tests =
       Test.make ~name:"sim: 8-flow dctcp run traced"
         (small_sim_traced (Ppt_transport.Dctcp.make ()) ()) ]
 
-(* Measure every test and return (name, ns/iteration) sorted by name;
-   nan when bechamel could not produce an estimate. *)
+(* Per-iteration OLS estimates: wall time plus GC allocation, so the
+   bench report can track words/iteration alongside ns/iteration. *)
+type est = {
+  ns : float;          (* ns per iteration *)
+  minor_w : float;     (* minor-heap words allocated per iteration *)
+  major_w : float;     (* major-heap words allocated per iteration *)
+}
+
+(* Measure every test and return (name, est) sorted by name; nan when
+   bechamel could not produce an estimate. *)
 let estimates () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true
       ~predictors:Measure.[| run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances =
+    Instance.[ monotonic_clock; minor_allocated; major_allocated ]
+  in
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.fold (fun name ols acc ->
-      let est =
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] -> est
-        | Some _ | None -> nan
-      in
-      (name, est) :: acc)
-    results []
+  let est_of tbl name =
+    match Hashtbl.find_opt tbl name with
+    | None -> nan
+    | Some ols ->
+      (match Analyze.OLS.estimates ols with
+       | Some [ est ] -> est
+       | Some _ | None -> nan)
+  in
+  let t_ns = Analyze.all ols Instance.monotonic_clock raw in
+  let t_minor = Analyze.all ols Instance.minor_allocated raw in
+  let t_major = Analyze.all ols Instance.major_allocated raw in
+  Hashtbl.fold (fun name _ acc ->
+      (name,
+       { ns = est_of t_ns name;
+         minor_w = est_of t_minor name;
+         major_w = est_of t_major name })
+      :: acc)
+    t_ns []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let run ppf =
-  Format.fprintf ppf "@\n== micro-benchmarks (bechamel, ns/iteration) ==@\n";
-  List.iter (fun (name, est) ->
-      if Float.is_nan est then
+  Format.fprintf ppf
+    "@\n== micro-benchmarks (bechamel, per iteration) ==@\n";
+  List.iter (fun (name, e) ->
+      if Float.is_nan e.ns then
         Format.fprintf ppf "  %-32s (no estimate)@\n" name
-      else Format.fprintf ppf "  %-32s %12.1f ns@\n" name est)
+      else
+        Format.fprintf ppf "  %-32s %12.1f ns %12.1f minor words@\n"
+          name e.ns e.minor_w)
     (estimates ())

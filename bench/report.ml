@@ -11,7 +11,10 @@
 
 open Ppt_harness
 
-let schema_version = 2
+(* v3: micros report GC allocation (minor/major words per iteration)
+   next to ns, and every macro shard carries its worker's Gc counters
+   (minor/major words, peak heap) — see HACKING.md for the layout. *)
+let schema_version = 3
 
 let git_rev () =
   try
@@ -27,7 +30,7 @@ type macro = {
   m_id : string;
   m_wall_s : float;
   m_events : int;
-  m_shards : (string * float) list;   (* unit key, wall seconds *)
+  m_shards : Parallel.shard_info list;
 }
 
 let run_macro ?(jobs = 1) (opts : Figures.opts) id =
@@ -53,10 +56,7 @@ let run_macro ?(jobs = 1) (opts : Figures.opts) id =
     invalid_arg
       (Printf.sprintf "Report: %s processed zero simulator events" id);
   { m_id = id; m_wall_s = r.Parallel.wall; m_events = r.Parallel.events;
-    m_shards =
-      List.map
-        (fun s -> (s.Parallel.sh_key, s.Parallel.sh_wall))
-        r.Parallel.shards }
+    m_shards = r.Parallel.shards }
 
 (* Hand-rolled JSON writer; the strings involved are experiment ids,
    test names and a git revision, but escape defensively anyway. *)
@@ -92,14 +92,19 @@ let to_json ~rev ~(opts : Figures.opts) ~jobs ~micros ~macros =
   Buffer.add_string b
     (Printf.sprintf "  \"full\": %b,\n" opts.Figures.full);
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
-  Buffer.add_string b "  \"micro_ns_per_iter\": {";
+  Buffer.add_string b "  \"micro\": {";
   List.iteri
-    (fun i (name, est) ->
+    (fun i (name, (e : Micro.est)) ->
        if i > 0 then Buffer.add_char b ',';
        Buffer.add_string b "\n    ";
        json_string b name;
-       Buffer.add_string b ": ";
-       json_float b est)
+       Buffer.add_string b ": { \"ns\": ";
+       json_float b e.Micro.ns;
+       Buffer.add_string b ", \"minor_words\": ";
+       json_float b e.Micro.minor_w;
+       Buffer.add_string b ", \"major_words\": ";
+       json_float b e.Micro.major_w;
+       Buffer.add_string b " }")
     micros;
   if micros <> [] then Buffer.add_string b "\n  ";
   Buffer.add_string b "},\n";
@@ -118,12 +123,24 @@ let to_json ~rev ~(opts : Figures.opts) ~jobs ~micros ~macros =
           else nan);
        Buffer.add_string b ",\n      \"shards\": [";
        List.iteri
-         (fun j (key, wall) ->
+         (fun j (s : Parallel.shard_info) ->
             if j > 0 then Buffer.add_char b ',';
             Buffer.add_string b "\n        { \"key\": ";
-            json_string b key;
+            json_string b s.Parallel.sh_key;
             Buffer.add_string b
-              (Printf.sprintf ", \"wall_s\": %.3f }" wall))
+              (Printf.sprintf ", \"wall_s\": %.3f, \"events\": %d"
+                 s.Parallel.sh_wall s.Parallel.sh_events);
+            (match s.Parallel.sh_gc with
+             | None -> ()
+             | Some g ->
+               Buffer.add_string b ",\n          \"gc\": { \"minor_words\": ";
+               json_float b g.Parallel.g_minor_words;
+               Buffer.add_string b ", \"major_words\": ";
+               json_float b g.Parallel.g_major_words;
+               Buffer.add_string b
+                 (Printf.sprintf ", \"top_heap_words\": %d }"
+                    g.Parallel.g_top_heap_words));
+            Buffer.add_string b " }")
          m.m_shards;
        if m.m_shards <> [] then Buffer.add_string b "\n      ";
        Buffer.add_string b "] }")

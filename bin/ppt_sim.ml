@@ -151,11 +151,21 @@ let run_cmd =
   let trace_events_arg =
     let doc =
       "Write a structured event trace (packet lifecycle, transport \
-       state, probes) as JSONL to $(docv); inspect it with \
-       $(b,ppt_trace)."
+       state, probes) to $(docv); inspect it with $(b,ppt_trace)."
     in
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let trace_fmt_arg =
+    let doc =
+      "Event trace format (with $(b,--trace)): $(b,json) writes \
+       canonical JSONL, $(b,bin) the compact binary encoding \
+       ($(b,ppt_trace decode) turns it back into identical JSONL)."
+    in
+    Arg.(value
+         & opt (enum [ ("json", Config.Json); ("bin", Config.Bin) ])
+             Config.Json
+         & info [ "trace-fmt" ] ~docv:"FMT" ~doc)
   in
   let probe_us_arg =
     let doc =
@@ -182,7 +192,7 @@ let run_cmd =
     s
   in
   let run topo scheme workload load flows seed full incast dump
-      trace_in trace_out trace_events probe_us faults verbose =
+      trace_in trace_out trace_events trace_fmt probe_us faults verbose =
     setup_logs verbose;
     match List.assoc_opt scheme scheme_names with
     | None -> `Error (false, "unknown scheme: " ^ scheme)
@@ -192,7 +202,7 @@ let run_cmd =
         match trace_events with
         | None -> cfg
         | Some path ->
-          Config.with_trace ~path
+          Config.with_trace ~path ~fmt:trace_fmt
             ~probe_interval:(Ppt_engine.Units.us probe_us) cfg
       in
       (match
@@ -235,8 +245,8 @@ let run_cmd =
     Term.(ret (const run $ topo_arg $ scheme_arg $ workload_arg
                $ load_arg $ flows_arg $ seed_arg $ full_arg $ incast_arg
                $ dump_arg $ trace_in_arg $ trace_out_arg
-               $ trace_events_arg $ probe_us_arg $ faults_arg
-               $ verbose_arg))
+               $ trace_events_arg $ trace_fmt_arg $ probe_us_arg
+               $ faults_arg $ verbose_arg))
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one transport over one workload") term
 

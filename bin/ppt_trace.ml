@@ -1,14 +1,16 @@
-(* ppt_trace: inspect JSONL event traces written by `ppt_sim run
-   --trace` (or any Ppt_obs.Trace.jsonl_sink).
+(* ppt_trace: inspect event traces written by `ppt_sim run --trace`
+   (or any Ppt_obs.Trace sink).
 
      ppt_trace summary out.jsonl
      ppt_trace diff a.jsonl b.jsonl
+     ppt_trace decode out.bin > out.jsonl
 
    `summary` prints event counts, per-port occupancy peaks and the
    mark rate; `diff` compares two traces event for event (the
    encoding is canonical, so equal events are equal lines) and, when
    they diverge, shows the first differing line plus the per-event
-   count deltas. *)
+   count deltas; `decode` turns a binary trace (`--trace-fmt bin`)
+   into the byte-identical canonical JSONL. *)
 
 open Cmdliner
 open Ppt_obs
@@ -129,7 +131,64 @@ let diff_cmd =
     (Cmd.info "diff" ~doc:"Compare two event traces event for event")
     Term.(ret (const run $ file_a $ file_b))
 
+(* ---- decode ---- *)
+
+let decode_cmd =
+  let file_arg =
+    let doc = "Binary event trace (written with --trace-fmt bin)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the JSONL to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run path out =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let magic = Event.bin_magic in
+    let mlen = String.length magic in
+    if String.length s < mlen || String.sub s 0 mlen <> magic then
+      `Error (false, path ^ ": not a PPT binary trace (bad magic)")
+    else begin
+      let oc =
+        match out with None -> stdout | Some p -> open_out p
+      in
+      let buf = Buffer.create 65536 in
+      let pos = ref mlen in
+      (try
+         let rec go () =
+           match Event.of_binary s pos with
+           | None -> ()
+           | Some (ts, ev) ->
+             Buffer.add_string buf (Event.to_json_line ~ts ev);
+             Buffer.add_char buf '\n';
+             if Buffer.length buf >= 65536 then begin
+               Buffer.output_buffer oc buf;
+               Buffer.clear buf
+             end;
+             go ()
+         in
+         go ()
+       with Failure msg ->
+         Buffer.output_buffer oc buf;
+         if out <> None then close_out oc;
+         Printf.eprintf "%s: %s\n" path msg;
+         exit 2);
+      Buffer.output_buffer oc buf;
+      if out <> None then close_out oc else flush oc;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "decode"
+       ~doc:
+         "Decode a binary event trace into canonical JSONL \
+          (byte-identical to a JSONL trace of the same run)")
+    Term.(ret (const run $ file_arg $ out_arg))
+
 let () =
   let doc = "Summarize and diff PPT structured event traces" in
   let info = Cmd.info "ppt_trace" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ summary_cmd; diff_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ summary_cmd; diff_cmd; decode_cmd ]))

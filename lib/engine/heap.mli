@@ -15,6 +15,16 @@ val min_key : 'a t -> int option
 val pop : 'a t -> (int * 'a) option
 val clear : 'a t -> unit
 
+val top_key : 'a t -> int
+(** Key of the minimum element. Unspecified (but does not raise) on an
+    empty heap — check {!is_empty} first. Allocation-free, for hot
+    loops that would otherwise pay an option per peek. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove and return the minimum element without allocating; read its
+    key with {!top_key} beforehand. @raise Invalid_argument on an
+    empty heap. *)
+
 val filter_in_place : 'a t -> f:('a -> bool) -> unit
 (** Drop every element not satisfying [f] and re-heapify, in O(n).
     Pop order of the survivors is unchanged. *)

@@ -35,11 +35,19 @@ let st_pending = 0
 let st_fired = 1
 let st_cancelled = 2
 
+(* A timer carries its callback argument inline ([fire arg] at pop)
+   instead of forcing callers to close over it: packet arrivals are
+   scheduled once per transmitted packet, and the inline argument
+   turns a closure + timer pair into a single timer allocation. The
+   argument is stored untyped; [schedule1] is the only constructor
+   that pairs a non-unit callback with its argument, so the
+   [Obj.magic] cannot be observed at a wrong type. *)
 type timer = {
   mutable state : int;
   key : Units.time;      (* absolute fire time *)
   tie : int;             (* insertion sequence number *)
-  fire : unit -> unit;
+  fire : Obj.t -> unit;
+  arg : Obj.t;
   cancels : int ref;     (* owning sim's cancelled-and-queued counter *)
 }
 
@@ -56,7 +64,8 @@ let wheel_span = n_buckets * bucket_width
 let compact_min = 1024
 
 let dummy_timer =
-  { state = st_fired; key = 0; tie = 0; fire = ignore; cancels = ref 0 }
+  { state = st_fired; key = 0; tie = 0; fire = ignore; arg = Obj.repr ();
+    cancels = ref 0 }
 
 type t = {
   mutable now : Units.time;
@@ -78,7 +87,10 @@ let create () =
   { now = 0;
     cur = Heap.create ~dummy:dummy_timer;
     overflow = Heap.create ~dummy:dummy_timer;
-    bkt = Array.init n_buckets (fun _ -> Array.make 8 dummy_timer);
+    (* bucket storage is allocated on first use: most buckets of a
+       short run are never touched, and every [create] would otherwise
+       pay for 256 slot arrays up front *)
+    bkt = Array.make n_buckets [||];
     bkt_len = Array.make n_buckets 0;
     wheel_count = 0;
     cur_hi = 0;
@@ -104,7 +116,7 @@ let bucket_push t tm =
   let arr =
     if len < Array.length arr then arr
     else begin
-      let bigger = Array.make (2 * len) dummy_timer in
+      let bigger = Array.make (max 8 (2 * len)) dummy_timer in
       Array.blit arr 0 bigger 0 len;
       t.bkt.(b) <- bigger;
       bigger
@@ -139,7 +151,8 @@ let compact t =
   t.cancels := 0;
   t.compaction_runs <- t.compaction_runs + 1
 
-let schedule_at t at fire =
+let schedule1_at : 'a. t -> Units.time -> ('a -> unit) -> 'a -> timer =
+  fun t at fire arg ->
   if at < t.now then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: %d is in the past (now=%d)" at t.now);
@@ -147,15 +160,24 @@ let schedule_at t at fire =
     compact t;
   t.tie <- t.tie + 1;
   let tm =
-    { state = st_pending; key = at; tie = t.tie; fire;
+    { state = st_pending; key = at; tie = t.tie;
+      fire = (Obj.magic fire : Obj.t -> unit); arg = Obj.repr arg;
       cancels = t.cancels }
   in
   insert t tm;
   tm
 
+(* A [unit -> unit] callback goes through the same untyped slot with
+   the unit value as its stored argument. *)
+let schedule_at t at (fire : unit -> unit) = schedule1_at t at fire ()
+
 let schedule t ~after fire =
   assert (after >= 0);
   schedule_at t (t.now + after) fire
+
+let schedule1 t ~after fire arg =
+  assert (after >= 0);
+  schedule1_at t (t.now + after) fire arg
 
 let cancel tm =
   if tm.state = st_pending then begin
@@ -168,12 +190,11 @@ let stop t = t.running <- false
 (* Pull overflow events that now fall inside the (just extended)
    wheel window. *)
 let rec migrate_overflow t =
-  match Heap.min_key t.overflow with
-  | Some k when k < t.wheel_end ->
-    (match Heap.pop t.overflow with
-     | Some (_, tm) -> bucket_push t tm; migrate_overflow t
-     | None -> ())
-  | Some _ | None -> ()
+  if (not (Heap.is_empty t.overflow))
+  && Heap.top_key t.overflow < t.wheel_end then begin
+    bucket_push t (Heap.pop_exn t.overflow);
+    migrate_overflow t
+  end
 
 (* Make [cur] hold the globally minimal event (if any exist): slide the
    wheel window bucket by bucket, dumping the first nonempty bucket
@@ -197,7 +218,7 @@ let rec refill t =
       (* bucket [b] now represents [wheel_end, wheel_end + width) *)
       t.cur_hi <- t.cur_hi + bucket_width;
       t.wheel_end <- t.wheel_end + bucket_width;
-      migrate_overflow t;
+      if not (Heap.is_empty t.overflow) then migrate_overflow t;
       refill t
     end
     else begin
@@ -216,28 +237,26 @@ let run ?until ?(max_events = max_int) t =
   let horizon = match until with None -> max_int | Some u -> u in
   let rec loop () =
     if t.running && t.processed < max_events then begin
-      refill t;
-      match Heap.min_key t.cur with
-      | None -> ()
-      | Some at ->
+      if Heap.is_empty t.cur then refill t;
+      if not (Heap.is_empty t.cur) then begin
+        let at = Heap.top_key t.cur in
         if at > horizon then
           (* Leave the clock at the horizon; the event stays queued for
              a later [run] call. *)
           t.now <- horizon
         else begin
-          (match Heap.pop t.cur with
-           | Some (_, tm) ->
-             if tm.state = st_pending then begin
-               t.now <- at;
-               tm.state <- st_fired;
-               t.processed <- t.processed + 1;
-               tm.fire ()
-             end else
-               (* a dead timer leaves the queue *)
-               decr t.cancels
-           | None -> assert false);
+          let tm = Heap.pop_exn t.cur in
+          if tm.state = st_pending then begin
+            t.now <- at;
+            tm.state <- st_fired;
+            t.processed <- t.processed + 1;
+            tm.fire tm.arg
+          end else
+            (* a dead timer leaves the queue *)
+            decr t.cancels;
           loop ()
         end
+      end
     end
   in
   loop ();

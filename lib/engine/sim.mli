@@ -27,6 +27,12 @@ val schedule_at : t -> Units.time -> (unit -> unit) -> timer
 
 val schedule : t -> after:Units.time -> (unit -> unit) -> timer
 
+val schedule1 : t -> after:Units.time -> ('a -> unit) -> 'a -> timer
+(** [schedule1 t ~after f x] behaves like
+    [schedule t ~after (fun () -> f x)] but stores [x] inside the
+    timer, avoiding the closure allocation. Intended for per-packet
+    hot paths where [f] is preallocated. *)
+
 val cancel : timer -> unit
 (** Cancelling an already-fired or cancelled timer is a no-op. *)
 

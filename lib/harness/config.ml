@@ -34,11 +34,16 @@ type pattern_kind =
   | Incast of { n_senders : int }
 
 (* Structured event tracing (lib/obs). [trace_path] writes the run's
-   events as JSONL; [None] keeps whatever sink the caller installed
-   (e.g. an in-memory ring in tests). [probe_interval] additionally
-   samples per-port occupancy / link utilization / DT thresholds. *)
+   events in [trace_fmt] — canonical JSONL or the compact binary
+   encoding (`ppt_trace decode` turns the latter back into identical
+   JSONL); [None] keeps whatever sink the caller installed (e.g. an
+   in-memory ring in tests). [probe_interval] additionally samples
+   per-port occupancy / link utilization / DT thresholds. *)
+type trace_fmt = Json | Bin
+
 type trace_cfg = {
   trace_path : string option;
+  trace_fmt : trace_fmt;
   probe_interval : Units.time option;
 }
 
@@ -75,8 +80,9 @@ let with_workload ?name cdf t =
   in
   { t with workload = cdf; workload_name }
 
-let with_trace ?path ?probe_interval t =
-  { t with trace = Some { trace_path = path; probe_interval } }
+let with_trace ?path ?(fmt = Json) ?probe_interval t =
+  { t with
+    trace = Some { trace_path = path; trace_fmt = fmt; probe_interval } }
 
 let with_faults spec t = { t with faults = Some spec }
 

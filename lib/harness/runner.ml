@@ -153,13 +153,22 @@ let run ?lp_buffer_cap ?trace ?(observe = fun _ _ -> ())
        | None -> None
        | Some path ->
          let oc = open_out path in
-         Ppt_obs.Trace.install (Ppt_obs.Trace.jsonl_sink oc);
-         Some oc)
+         (match tc.Config.trace_fmt with
+          | Config.Json ->
+            Ppt_obs.Trace.install (Ppt_obs.Trace.jsonl_sink oc);
+            Some (oc, ignore)
+          | Config.Bin ->
+            let sink, flush = Ppt_obs.Trace.binary_sink oc in
+            Ppt_obs.Trace.install sink;
+            Some (oc, flush)))
   in
   Fun.protect
     ~finally:(fun () ->
         match trace_out with
-        | Some oc -> Ppt_obs.Trace.clear (); close_out oc
+        | Some (oc, flush) ->
+          Ppt_obs.Trace.clear ();
+          flush ();
+          close_out oc
         | None -> ())
     (fun () -> Sim.run ~until:horizon sim);
   total_events := !total_events + Sim.events_processed sim;

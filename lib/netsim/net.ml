@@ -23,6 +23,13 @@ type port = {
   (* preallocated end-of-serialization continuation, installed by
      [create] so the transmit loop does not close over the port on
      every packet *)
+  mutable recv_fire : Packet.t -> unit;
+  (* preallocated far-end arrival continuation (also installed by
+     [create]); paired with [Sim.schedule1] so per-packet arrival
+     scheduling allocates only the timer *)
+  mutable memo_bytes : int;         (* serialization-time memo: *)
+  mutable memo_rate : Units.rate;   (* tx_time at (memo_bytes, memo_rate) *)
+  mutable memo_tx : Units.time;     (* is memo_tx — ports see few sizes *)
   (* Fault-injection state (Ppt_faults). Neutral defaults keep the
      datapath bit-identical when no fault spec is active. *)
   mutable up : bool;                (* false: port stops dequeuing *)
@@ -34,18 +41,54 @@ type port = {
   mutable fault_drops : int;        (* packets killed by the filter *)
 }
 
+(* Deterministic hash for ECMP candidate selection. *)
+let ecmp_hash flow n =
+  assert (n > 0);
+  ((flow * 0x61C88647) lsr 8) land max_int mod n
+
+(* How a switch picks among ECMP candidates (see [Topology.routing]). *)
+type selector =
+  | Sel_flow                        (* classic per-flow ECMP *)
+  | Sel_packet                      (* per-packet spray (NDP-style) *)
+  | Sel_flowlet of { gap : Units.time; tbl : (int, flowlet) Hashtbl.t }
+
+(* Per-flow flowlet memory: candidate index + last-seen time. A mutable
+   record (not a tuple in the table) so steady-state flowlet routing
+   writes two fields and allocates nothing. *)
+and flowlet = { mutable fl_cand : int; mutable fl_last : Units.time }
+
+(* Flat forwarding table of a switch: [base.(dst)] is the egress port
+   for [dst], or -1 to select among the [cand] ports (all ECMP
+   destinations of a node share one candidate set). Routing a packet is
+   an array read plus, on the ECMP path, a hash — no list traversal, no
+   closure call, no allocation. *)
+type fwd = {
+  base : int array;
+  cand : int array;
+  sel : selector;
+}
+
 type node = {
   nid : int;
   is_host : bool;
   ports : port array;
-  (* Maps a packet to the egress port index; only used on switches. *)
+  (* Maps a packet to the egress port index; only used on switches.
+     Fallback for custom topologies — the builders in [Topology]
+     install a flat [fwd] table instead. *)
   mutable route : Packet.t -> int;
+  mutable fwd : fwd option;
 }
 
 type t = {
   sim : Sim.t;
   nodes : node array;
-  handlers : (int * int, Packet.t -> unit) Hashtbl.t;
+  hflat : (Packet.t -> unit) array array;
+  (* [hflat.(host).(flow)] is the delivery handler — the hot lookup is
+     two array reads. Hosts' tables grow on registration; flows outside
+     [flat_flow_cap] fall back to the hashtable. *)
+  handlers : (int, Packet.t -> unit) Hashtbl.t;
+  (* keyed by [handler_key]: host and flow packed into one int so a
+     delivery lookup allocates no tuple *)
   collect_int : bool;
   mutable delivered : int;
   mutable undeliverable : int;
@@ -53,33 +96,65 @@ type t = {
 
 let no_route (_ : Packet.t) = invalid_arg "Net: route not installed"
 
+(* Hosts are node ids (< 2^20 by the [create] check); flows take the
+   high bits, so the packing is injective. *)
+let max_nodes = 1 lsl 20
+let handler_key ~host ~flow = (flow lsl 20) lor host
+
 let make_port ~owner ~pix ~rate ~delay qcfg =
   { owner; pix; rate; delay; peer = -1; q = Prio_queue.create qcfg;
     busy = false; tx_bytes = 0; tx_payload = 0; tx_done = ignore;
+    recv_fire = ignore;
+    memo_bytes = -1; memo_rate = -1; memo_tx = 0;
     up = true; cur_rate = rate; extra_delay = 0; fault_filter = None;
     fault_drops = 0 }
 
 let make_node ~nid ~is_host ports =
-  { nid; is_host; ports; route = no_route }
+  { nid; is_host; ports; route = no_route; fwd = None }
 
 let sim t = t.sim
 let node t nid = t.nodes.(nid)
 let port t nid pix = t.nodes.(nid).ports.(pix)
 let n_nodes t = Array.length t.nodes
 
-let register t ~host ~flow handler =
-  Hashtbl.replace t.handlers (host, flow) handler
+(* Physical-equality sentinel for an empty flat slot, so delivery can
+   distinguish "no handler" without an option. *)
+let no_handler : Packet.t -> unit = fun _ -> ()
+let flat_flow_cap = 1 lsl 16
 
-let unregister t ~host ~flow = Hashtbl.remove t.handlers (host, flow)
+let flat_slot t ~host ~flow =
+  host >= 0 && host < Array.length t.nodes
+  && flow >= 0 && flow < flat_flow_cap
+
+let register t ~host ~flow handler =
+  if flat_slot t ~host ~flow then begin
+    let arr = t.hflat.(host) in
+    let arr =
+      if flow < Array.length arr then arr
+      else begin
+        let n = ref (max 16 (Array.length arr)) in
+        while !n <= flow do n := 2 * !n done;
+        let bigger = Array.make !n no_handler in
+        Array.blit arr 0 bigger 0 (Array.length arr);
+        t.hflat.(host) <- bigger;
+        bigger
+      end
+    in
+    arr.(flow) <- handler
+  end else
+    Hashtbl.replace t.handlers (handler_key ~host ~flow) handler
+
+let unregister t ~host ~flow =
+  if flat_slot t ~host ~flow then begin
+    let arr = t.hflat.(host) in
+    if flow < Array.length arr then arr.(flow) <- no_handler
+  end else
+    Hashtbl.remove t.handlers (handler_key ~host ~flow)
 
 let stamp_int t (port : port) (p : Packet.t) =
   if t.collect_int && p.kind = Data then
-    p.int_tel <-
-      { Packet.hop_qlen = Prio_queue.bytes port.q;
-        hop_tx_bytes = port.tx_bytes;
-        hop_ts = Sim.now t.sim;
-        hop_rate = port.rate }
-      :: p.int_tel
+    Packet.tel_push p ~qlen:(Prio_queue.bytes port.q)
+      ~tx_bytes:port.tx_bytes ~ts:(Sim.now t.sim) ~rate:port.rate
 
 (* --- trace emission (Ppt_obs) -------------------------------------
 
@@ -138,10 +213,28 @@ let trace_dequeue t (port : port) (p : Packet.t) =
          flow = p.flow; seq = p.seq; kind = kind_tag p.kind;
          size = p.wire; occ = Prio_queue.bytes port.q })
 
+(* Packet sinks. The fabric owns every packet handed to [send]; at each
+   terminal point — delivery, queue drop, fault kill, undeliverable —
+   it returns the record to the pool. Delivery handlers borrow the
+   packet for the duration of the call and must not retain it. *)
+
 let deliver t (p : Packet.t) =
-  match Hashtbl.find_opt t.handlers (p.dst, p.flow) with
-  | Some handler -> t.delivered <- t.delivered + 1; handler p
-  | None -> t.undeliverable <- t.undeliverable + 1
+  let arr = t.hflat.(p.dst) in
+  let handler =
+    if p.flow >= 0 && p.flow < Array.length arr then
+      Array.unsafe_get arr p.flow
+    else
+      match
+        Hashtbl.find_opt t.handlers (handler_key ~host:p.dst ~flow:p.flow)
+      with
+      | Some h -> h
+      | None -> no_handler
+  in
+  if handler != no_handler then begin
+    t.delivered <- t.delivered + 1;
+    handler p
+  end else t.undeliverable <- t.undeliverable + 1;
+  Packet.release p
 
 (* A faulted packet still holds the wire for its serialization time
    (the bits were sent, just not received intact), so only the receive
@@ -153,7 +246,36 @@ let fault_kill t (port : port) (p : Packet.t) reason =
       (Ev.Fault_drop
          { node = port.owner; port = port.pix; flow = p.flow;
            seq = p.seq; kind = kind_tag p.kind; size = p.wire;
-           reason })
+           reason });
+  Packet.release p
+
+(* ECMP candidate index for one packet under the node's policy.
+   Allocation-free: the flowlet table stores mutable records and misses
+   are signalled by the (constant) [Not_found]. *)
+let select sim (f : fwd) (p : Packet.t) =
+  let n = Array.length f.cand in
+  match f.sel with
+  | Sel_flow -> ecmp_hash p.flow n
+  | Sel_packet -> ecmp_hash (p.flow + (p.uid * 7919)) n
+  | Sel_flowlet { gap; tbl } ->
+    let now = Sim.now sim in
+    (match Hashtbl.find tbl p.flow with
+     | st ->
+       if now - st.fl_last <= gap then begin
+         st.fl_last <- now;
+         st.fl_cand
+       end else begin
+         let epoch = now / max 1 gap in
+         let c = ecmp_hash (p.flow + (epoch * 65599)) n in
+         st.fl_cand <- c;
+         st.fl_last <- now;
+         c
+       end
+     | exception Not_found ->
+       let epoch = now / max 1 gap in
+       let c = ecmp_hash (p.flow + (epoch * 65599)) n in
+       Hashtbl.add tbl p.flow { fl_cand = c; fl_last = now };
+       c)
 
 (* Transmit loop of a port: while the queue is non-empty, pop the next
    packet, hold the wire for its serialization time, then hand it to the
@@ -161,13 +283,25 @@ let fault_kill t (port : port) (p : Packet.t) reason =
    queue intact; [kick] restarts it on link-up. *)
 let rec start_tx t (port : port) =
   if not port.up then port.busy <- false
-  else
-    match Prio_queue.dequeue port.q with
-    | None -> port.busy <- false
-    | Some p ->
+  else begin
+    let p = Prio_queue.dequeue_or_dummy port.q in
+    if p == Packet.dummy then port.busy <- false
+    else begin
       if !Trace.enabled then trace_dequeue t port p;
       port.busy <- true;
-      let tx = Units.tx_time ~rate:port.cur_rate ~bytes:p.wire in
+      let tx =
+        (* a port sees a handful of distinct wire sizes, so one memo
+           slot removes the division from nearly every transmit *)
+        if p.wire = port.memo_bytes && port.cur_rate = port.memo_rate
+        then port.memo_tx
+        else begin
+          let v = Units.tx_time ~rate:port.cur_rate ~bytes:p.wire in
+          port.memo_bytes <- p.wire;
+          port.memo_rate <- port.cur_rate;
+          port.memo_tx <- v;
+          v
+        end
+      in
       port.tx_bytes <- port.tx_bytes + p.wire;
       if p.kind = Data && not p.trimmed then
         port.tx_payload <- port.tx_payload + p.payload;
@@ -177,9 +311,10 @@ let rec start_tx t (port : port) =
        | Some reason -> fault_kill t port p reason
        | None ->
          let arrive_after = tx + port.delay + port.extra_delay in
-         ignore (Sim.schedule t.sim ~after:arrive_after (fun () ->
-             receive t port.peer p)));
+         ignore (Sim.schedule1 t.sim ~after:arrive_after port.recv_fire p));
       ignore (Sim.schedule t.sim ~after:tx port.tx_done)
+    end
+  end
 
 and send_on_port t (port : port) (p : Packet.t) =
   (* A downed egress discards new arrivals (no carrier, no route), as
@@ -192,12 +327,12 @@ and send_on_port t (port : port) (p : Packet.t) =
     let verdict = Prio_queue.enqueue port.q p in
     trace_enqueue t port p verdict ~was_ce;
     match verdict with
-    | Prio_queue.Dropped -> ()
+    | Prio_queue.Dropped -> Packet.release p
     | Enqueued | Trimmed -> if not port.busy then start_tx t port
   end
   else
     match Prio_queue.enqueue port.q p with
-    | Prio_queue.Dropped -> ()
+    | Prio_queue.Dropped -> Packet.release p
     | Enqueued | Trimmed -> if not port.busy then start_tx t port
   end
 
@@ -205,13 +340,24 @@ and receive t nid (p : Packet.t) =
   let node = t.nodes.(nid) in
   if node.is_host then begin
     if p.dst = nid then deliver t p
-    else t.undeliverable <- t.undeliverable + 1
+    else begin
+      t.undeliverable <- t.undeliverable + 1;
+      Packet.release p
+    end
   end else begin
-    let pix = node.route p in
+    let pix =
+      match node.fwd with
+      | Some f ->
+        let b = f.base.(p.dst) in
+        if b >= 0 then b else f.cand.(select t.sim f p)
+      | None -> node.route p
+    in
     send_on_port t node.ports.(pix) p
   end
 
 let create sim ?(collect_int = false) nodes =
+  if Array.length nodes > max_nodes then
+    invalid_arg "Net.create: too many nodes";
   Array.iteri (fun i n ->
       if n.nid <> i then invalid_arg "Net.create: node ids must be dense";
       Array.iter (fun p ->
@@ -220,11 +366,14 @@ let create sim ?(collect_int = false) nodes =
         n.ports)
     nodes;
   let t =
-    { sim; nodes; handlers = Hashtbl.create 1024; collect_int;
+    { sim; nodes; hflat = Array.make (Array.length nodes) [||];
+      handlers = Hashtbl.create 16; collect_int;
       delivered = 0; undeliverable = 0 }
   in
   Array.iter (fun n ->
-      Array.iter (fun p -> p.tx_done <- (fun () -> start_tx t p))
+      Array.iter (fun p ->
+          p.tx_done <- (fun () -> start_tx t p);
+          p.recv_fire <- (fun pkt -> receive t p.peer pkt))
         n.ports)
     nodes;
   t

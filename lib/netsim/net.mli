@@ -20,6 +20,19 @@ type port = {
   mutable tx_done : unit -> unit;
   (** Preallocated end-of-serialization continuation; installed by
       {!create}, not meant to be called by users. *)
+  mutable recv_fire : Packet.t -> unit;
+  (** Preallocated far-end arrival continuation; installed by
+      {!create} and scheduled via {!Ppt_engine.Sim.schedule1} so a
+      packet arrival allocates no closure. Not meant to be called by
+      users. *)
+  mutable memo_bytes : int;
+  mutable memo_rate : Units.rate;
+  mutable memo_tx : Units.time;
+  (** Serialization-time memo: [memo_tx] caches
+      [Units.tx_time ~rate:memo_rate ~bytes:memo_bytes]. A port sees
+      only a handful of distinct wire sizes, so this removes the
+      division from nearly every transmit. Maintained by the transmit
+      loop; not meant to be touched by users. *)
   mutable up : bool;
   (** [false] parks the transmit loop and discards new arrivals as
       fault drops (reason 'D'); already-queued packets park until
@@ -36,11 +49,37 @@ type port = {
   (** Packets killed by the filter or discarded while down. *)
 }
 
+val ecmp_hash : int -> int -> int
+(** [ecmp_hash key n] — deterministic candidate selection in
+    [0, n)]. *)
+
+(** How a switch picks among ECMP candidate ports. *)
+type selector =
+  | Sel_flow      (** classic per-flow ECMP *)
+  | Sel_packet    (** spray every packet independently (NDP-style) *)
+  | Sel_flowlet of { gap : Units.time; tbl : (int, flowlet) Hashtbl.t }
+      (** re-hash a flow after a pause longer than [gap]
+          (LetFlow-style); [tbl] is the per-node flowlet memory *)
+
+and flowlet = { mutable fl_cand : int; mutable fl_last : Units.time }
+
+type fwd = {
+  base : int array;  (** [base.(dst)] = egress port, or -1 for ECMP *)
+  cand : int array;  (** ECMP candidate ports (shared by all dsts) *)
+  sel : selector;
+}
+(** Flat forwarding table of a switch: routing is an array read plus,
+    on the ECMP path, a hash — no list traversal, no closure call, no
+    allocation. Installed by the [Topology] builders. *)
+
 type node = {
   nid : int;
   is_host : bool;
   ports : port array;
   mutable route : Packet.t -> int;
+  (** Fallback routing closure for custom topologies; consulted only
+      when [fwd] is [None]. *)
+  mutable fwd : fwd option;
 }
 
 type t

@@ -98,7 +98,9 @@ let create cfg =
       (match cfg.dt_alphas with
        | Some a -> assert (Array.length a = n_prios); a
        | None -> [||]);
-    rings = Array.init n_prios (fun _ -> Array.make 16 Packet.dummy);
+    (* ring storage is allocated on first enqueue into a band: most
+       ports only ever see one or two of the eight priorities *)
+    rings = Array.make n_prios [||];
     heads = Array.make n_prios 0;
     lens = Array.make n_prios 0;
     live = 0;
@@ -111,7 +113,7 @@ let ring_push t prio p =
   let cap = Array.length t.rings.(prio) in
   if t.lens.(prio) = cap then begin
     (* unwrap the full ring into a doubled array *)
-    let bigger = Array.make (2 * cap) Packet.dummy in
+    let bigger = Array.make (max 16 (2 * cap)) Packet.dummy in
     let old = t.rings.(prio) and head = t.heads.(prio) in
     for i = 0 to cap - 1 do
       bigger.(i) <- old.((head + i) land (cap - 1))
@@ -233,13 +235,20 @@ let enqueue t (p : Packet.t) =
   end
   else begin drop t p; Dropped end
 
-let dequeue t =
+(* Option-free variant for the transmit loop: returns [Packet.dummy]
+   when every queue is empty, so the (per-packet) hot path allocates
+   nothing. *)
+let dequeue_or_dummy t =
   let prio = lowest_set.(t.live) in
-  if prio >= n_prios then None
+  if prio >= n_prios then Packet.dummy
   else begin
     let p = ring_pop t prio in
     t.qbytes.(prio) <- t.qbytes.(prio) - p.wire;
     t.bytes <- t.bytes - p.wire;
     if prio >= lp_band_start then t.lp_bytes <- t.lp_bytes - p.wire;
-    Some p
+    p
   end
+
+let dequeue t =
+  let p = dequeue_or_dummy t in
+  if p == Packet.dummy then None else Some p

@@ -45,6 +45,11 @@ val create : config -> t
 val enqueue : t -> Packet.t -> verdict
 val dequeue : t -> Packet.t option
 
+val dequeue_or_dummy : t -> Packet.t
+(** [dequeue] without the option: returns {!Packet.dummy} when all
+    queues are empty. For the transmit loop, which runs once per
+    forwarded packet. *)
+
 val bytes : t -> int
 val lp_bytes : t -> int
 val hp_bytes : t -> int

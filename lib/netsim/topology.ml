@@ -23,10 +23,9 @@ type built = {
   name : string;
 }
 
-(* Deterministic per-flow hash for ECMP spine selection. *)
-let ecmp_hash flow n =
-  assert (n > 0);
-  ((flow * 0x61C88647) lsr 8) land max_int mod n
+(* Deterministic per-flow hash for ECMP spine selection (the fabric's
+   own, re-exported for tests and custom builders). *)
+let ecmp_hash = Net.ecmp_hash
 
 (* How leaves spread traffic across spines.
 
@@ -40,23 +39,10 @@ type routing =
   | Per_packet
   | Flowlet of { gap : Units.time }
 
-(* Uplink choice for one packet under the given policy; [state] holds
-   per-leaf flowlet memory. *)
-let uplink_choice routing ~sim ~state (pkt : Packet.t) n_spine =
-  match routing with
-  | Per_flow -> ecmp_hash pkt.flow n_spine
-  | Per_packet -> ecmp_hash (pkt.flow + (pkt.uid * 7919)) n_spine
-  | Flowlet { gap } ->
-    let now = Sim.now sim in
-    (match Hashtbl.find_opt state pkt.flow with
-     | Some (spine, last) when now - last <= gap ->
-       Hashtbl.replace state pkt.flow (spine, now);
-       spine
-     | _ ->
-       let epoch = now / max 1 gap in
-       let spine = ecmp_hash (pkt.flow + (epoch * 65599)) n_spine in
-       Hashtbl.replace state pkt.flow (spine, now);
-       spine)
+let selector_of_routing = function
+  | Per_flow -> Net.Sel_flow
+  | Per_packet -> Net.Sel_packet
+  | Flowlet { gap } -> Net.Sel_flowlet { gap; tbl = Hashtbl.create 64 }
 
 (* Host NICs get a large unmarked buffer: the paper's end-host queueing
    happens in the TCP send buffer model, not the NIC ring. *)
@@ -81,7 +67,9 @@ let star ?collect_int ~sim ~n_hosts ~rate ~delay ~qcfg () =
         p)
   in
   let switch = Net.make_node ~nid:switch_id ~is_host:false switch_ports in
-  switch.Net.route <- (fun (pkt : Packet.t) -> pkt.dst);
+  switch.Net.fwd <-
+    Some { Net.base = Array.init n_hosts Fun.id; cand = [||];
+           sel = Net.Sel_flow };
   let net = Net.create sim ?collect_int (Array.append hosts [| switch |]) in
   { net;
     hosts = Array.init n_hosts Fun.id;
@@ -131,12 +119,16 @@ let leaf_spine ?collect_int ?(routing = Per_flow) ~sim ~hosts_per_leaf
         let node =
           Net.make_node ~nid ~is_host:false (Array.append down up)
         in
-        let flowlets = Hashtbl.create 64 in
-        node.Net.route <- (fun (pkt : Packet.t) ->
-            if leaf_of_host pkt.dst = l then pkt.dst mod hosts_per_leaf
-            else
-              hosts_per_leaf
-              + uplink_choice routing ~sim ~state:flowlets pkt n_spine);
+        (* Local hosts get their downlink; everyone else ECMPs over the
+           uplinks. Each leaf gets its own selector (flowlet memory is
+           per-node). *)
+        node.Net.fwd <-
+          Some { Net.base =
+                   Array.init n_hosts (fun d ->
+                       if leaf_of_host d = l then d mod hosts_per_leaf
+                       else -1);
+                 cand = Array.init n_spine (fun s -> hosts_per_leaf + s);
+                 sel = selector_of_routing routing };
         node)
   in
   let spines =
@@ -152,7 +144,9 @@ let leaf_spine ?collect_int ?(routing = Per_flow) ~sim ~hosts_per_leaf
               p)
         in
         let node = Net.make_node ~nid ~is_host:false down in
-        node.Net.route <- (fun (pkt : Packet.t) -> leaf_of_host pkt.dst);
+        node.Net.fwd <-
+          Some { Net.base = Array.init n_hosts leaf_of_host; cand = [||];
+                 sel = Net.Sel_flow };
         node)
   in
   let nodes = Array.concat [ hosts; leaves; spines ] in

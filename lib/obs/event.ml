@@ -148,6 +148,216 @@ let to_json_line ~ts ev =
   Buffer.add_char b '}';
   Buffer.contents b
 
+(* --- binary encoding ----------------------------------------------
+
+   Compact counterpart of the JSONL encoding for hot-path tracing: one
+   tag byte, then the timestamp and every field as zigzag varints (in
+   exactly [to_json_line]'s field order), chars and bools as single
+   bytes. A stream starts with the 5-byte header "PPTB\001" (magic +
+   version). Decoding reproduces the JSONL encoding byte-for-byte
+   (`ppt_trace decode`), so the binary format inherits the golden-trace
+   guarantees without paying string formatting per event. *)
+
+let bin_magic = "PPTB\001"
+
+let bin_tag = function
+  | Enqueue _ -> 0 | Dequeue _ -> 1 | Ecn_mark _ -> 2 | Drop _ -> 3
+  | Trim _ -> 4 | Cwnd_update _ -> 5 | Loop_switch _ -> 6
+  | Rto_fire _ -> 7 | Retransmit _ -> 8 | Flow_start _ -> 9
+  | Flow_done _ -> 10 | Probe_queue _ -> 11 | Probe_link _ -> 12
+  | Probe_dt _ -> 13 | Link_down _ -> 14 | Link_up _ -> 15
+  | Link_degrade _ -> 16 | Fault_drop _ -> 17
+
+(* Encoding goes through a module-global scratch buffer written with
+   unsafe byte stores, then lands in the caller's [Buffer] as a single
+   [add_subbytes] — one bounds check per event instead of one per byte.
+   An event is at most 1 tag + 9 varints of <= 10 bytes each, far under
+   the scratch size, which is what makes the unsafe stores safe. *)
+let scratch = Bytes.create 256
+let spos = ref 0
+
+let put_char c =
+  Bytes.unsafe_set scratch !spos c;
+  incr spos
+
+(* Zigzag maps the (63-bit) int onto an unsigned code so small
+   magnitudes of either sign stay short; the code is then emitted in
+   7-bit groups, low first, high bit = continuation. [lsr] treats the
+   code as unsigned throughout, so the full int range round-trips. *)
+let put_varint n =
+  let z = (n lsl 1) lxor (n asr 62) in
+  let z = ref z in
+  while !z land lnot 0x7f <> 0 do
+    put_char (Char.unsafe_chr ((!z land 0x7f) lor 0x80));
+    z := !z lsr 7
+  done;
+  put_char (Char.unsafe_chr !z)
+
+let add_binary b ~ts ev =
+  spos := 0;
+  put_char (Char.unsafe_chr (bin_tag ev));
+  put_varint ts;
+  (match ev with
+   | Enqueue { node; port; prio; flow; seq; kind; size; occ }
+   | Dequeue { node; port; prio; flow; seq; kind; size; occ }
+   | Drop { node; port; prio; flow; seq; kind; size; occ } ->
+     put_varint node; put_varint port; put_varint prio;
+     put_varint flow; put_varint seq; put_char kind;
+     put_varint size; put_varint occ
+   | Ecn_mark { node; port; prio; flow; seq; occ; threshold } ->
+     put_varint node; put_varint port; put_varint prio;
+     put_varint flow; put_varint seq; put_varint occ;
+     put_varint threshold
+   | Trim { node; port; prio; flow; seq; cut; occ } ->
+     put_varint node; put_varint port; put_varint prio;
+     put_varint flow; put_varint seq; put_varint cut;
+     put_varint occ
+   | Cwnd_update { flow; cwnd } -> put_varint flow; put_varint cwnd
+   | Loop_switch { flow; active; window } ->
+     put_varint flow;
+     put_char (if active then '\001' else '\000');
+     put_varint window
+   | Rto_fire { flow; backoff } -> put_varint flow; put_varint backoff
+   | Retransmit { flow; seq; loop } ->
+     put_varint flow; put_varint seq; put_char loop
+   | Flow_start { flow; size } -> put_varint flow; put_varint size
+   | Flow_done { flow; size; fct } ->
+     put_varint flow; put_varint size; put_varint fct
+   | Probe_queue { node; port; occ; lp_occ } ->
+     put_varint node; put_varint port; put_varint occ;
+     put_varint lp_occ
+   | Probe_link { node; port; tx_bytes; util_ppm } ->
+     put_varint node; put_varint port; put_varint tx_bytes;
+     put_varint util_ppm
+   | Probe_dt { node; port; hp; lp } ->
+     put_varint node; put_varint port; put_varint hp;
+     put_varint lp
+   | Link_down { node; port } | Link_up { node; port } ->
+     put_varint node; put_varint port
+   | Link_degrade { node; port; rate_ppm; extra_delay } ->
+     put_varint node; put_varint port; put_varint rate_ppm;
+     put_varint extra_delay
+   | Fault_drop { node; port; flow; seq; kind; size; reason } ->
+     put_varint node; put_varint port; put_varint flow;
+     put_varint seq; put_char kind; put_varint size;
+     put_char reason);
+  Buffer.add_subbytes b scratch 0 !spos
+
+exception Truncated
+
+let read_varint s pos =
+  let z = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= String.length s then raise Truncated;
+    let byte = Char.code s.[!pos] in
+    incr pos;
+    z := !z lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte < 0x80 then continue := false
+    else if !shift >= 63 then raise Truncated
+  done;
+  (!z lsr 1) lxor (- (!z land 1))
+
+let read_char s pos =
+  if !pos >= String.length s then raise Truncated;
+  let c = s.[!pos] in
+  incr pos;
+  c
+
+(* Decode the event starting at [!pos] (advancing it); [None] once the
+   input is exhausted. @raise Failure on a corrupt or truncated
+   stream. *)
+let of_binary s pos =
+  if !pos >= String.length s then None
+  else
+    try
+      let tag = Char.code (read_char s pos) in
+      let ts = read_varint s pos in
+      let i () = read_varint s pos in
+      let queue_fields mk =
+        let node = i () in let port = i () in let prio = i () in
+        let flow = i () in let seq = i () in
+        let kind = read_char s pos in
+        let size = i () in let occ = i () in
+        mk ~node ~port ~prio ~flow ~seq ~kind ~size ~occ
+      in
+      let ev =
+        match tag with
+        | 0 ->
+          queue_fields
+            (fun ~node ~port ~prio ~flow ~seq ~kind ~size ~occ ->
+               Enqueue { node; port; prio; flow; seq; kind; size; occ })
+        | 1 ->
+          queue_fields
+            (fun ~node ~port ~prio ~flow ~seq ~kind ~size ~occ ->
+               Dequeue { node; port; prio; flow; seq; kind; size; occ })
+        | 2 ->
+          let node = i () in let port = i () in let prio = i () in
+          let flow = i () in let seq = i () in let occ = i () in
+          let threshold = i () in
+          Ecn_mark { node; port; prio; flow; seq; occ; threshold }
+        | 3 ->
+          queue_fields
+            (fun ~node ~port ~prio ~flow ~seq ~kind ~size ~occ ->
+               Drop { node; port; prio; flow; seq; kind; size; occ })
+        | 4 ->
+          let node = i () in let port = i () in let prio = i () in
+          let flow = i () in let seq = i () in let cut = i () in
+          let occ = i () in
+          Trim { node; port; prio; flow; seq; cut; occ }
+        | 5 ->
+          let flow = i () in let cwnd = i () in
+          Cwnd_update { flow; cwnd }
+        | 6 ->
+          let flow = i () in
+          let active = read_char s pos <> '\000' in
+          let window = i () in
+          Loop_switch { flow; active; window }
+        | 7 ->
+          let flow = i () in let backoff = i () in
+          Rto_fire { flow; backoff }
+        | 8 ->
+          let flow = i () in let seq = i () in
+          let loop = read_char s pos in
+          Retransmit { flow; seq; loop }
+        | 9 ->
+          let flow = i () in let size = i () in
+          Flow_start { flow; size }
+        | 10 ->
+          let flow = i () in let size = i () in let fct = i () in
+          Flow_done { flow; size; fct }
+        | 11 ->
+          let node = i () in let port = i () in let occ = i () in
+          let lp_occ = i () in
+          Probe_queue { node; port; occ; lp_occ }
+        | 12 ->
+          let node = i () in let port = i () in
+          let tx_bytes = i () in let util_ppm = i () in
+          Probe_link { node; port; tx_bytes; util_ppm }
+        | 13 ->
+          let node = i () in let port = i () in let hp = i () in
+          let lp = i () in
+          Probe_dt { node; port; hp; lp }
+        | 14 ->
+          let node = i () in let port = i () in
+          Link_down { node; port }
+        | 15 ->
+          let node = i () in let port = i () in
+          Link_up { node; port }
+        | 16 ->
+          let node = i () in let port = i () in
+          let rate_ppm = i () in let extra_delay = i () in
+          Link_degrade { node; port; rate_ppm; extra_delay }
+        | 17 ->
+          let node = i () in let port = i () in let flow = i () in
+          let seq = i () in let kind = read_char s pos in
+          let size = i () in let reason = read_char s pos in
+          Fault_drop { node; port; flow; seq; kind; size; reason }
+        | n -> failwith (Printf.sprintf "Event.of_binary: bad tag %d" n)
+      in
+      Some (ts, ev)
+    with Truncated -> failwith "Event.of_binary: truncated stream"
+
 (* --- parser -------------------------------------------------------- *)
 
 (* Raw value of ["key":<value>] in [line]: the substring after the

@@ -96,4 +96,23 @@ val of_json_line : string -> (int * t) option
 (** Parse a line produced by {!to_json_line}; [None] on anything
     malformed. *)
 
+(** {2 Binary encoding}
+
+    Compact hot-path counterpart of the JSONL encoding: one tag byte,
+    then the timestamp and every field as zigzag varints (in
+    {!to_json_line}'s field order), chars/bools as single bytes. A
+    stream starts with {!bin_magic}. Decoding and re-encoding as JSONL
+    reproduces the textual trace byte-for-byte ([ppt_trace decode]). *)
+
+val bin_magic : string
+(** 5-byte stream header: ["PPTB"] plus a version byte. *)
+
+val add_binary : Buffer.t -> ts:int -> t -> unit
+(** Append one event to a buffer (no header). *)
+
+val of_binary : string -> int ref -> (int * t) option
+(** [of_binary s pos] decodes the event at [!pos] (advancing [pos]);
+    [None] once [s] is exhausted. The caller strips {!bin_magic}
+    first. @raise Failure on a corrupt or truncated stream. *)
+
 val pp : Format.formatter -> t -> unit

@@ -33,6 +33,27 @@ let jsonl_sink oc : sink =
     output_string oc (Event.to_json_line ~ts ev);
     output_char oc '\n'
 
+(* Varint-encoded binary trace: events accumulate in a growable buffer
+   that is dumped to [oc] whenever it passes [chunk] bytes, so the
+   per-event cost is a handful of buffer writes — no string formatting,
+   no per-event I/O. The caller must invoke the returned [flush] before
+   closing the channel. *)
+let binary_sink ?(chunk = 1 lsl 16) oc =
+  output_string oc Event.bin_magic;
+  let b = Buffer.create (chunk + 256) in
+  let sink ts ev =
+    Event.add_binary b ~ts ev;
+    if Buffer.length b >= chunk then begin
+      Buffer.output_buffer oc b;
+      Buffer.clear b
+    end
+  in
+  let flush () =
+    Buffer.output_buffer oc b;
+    Buffer.clear b
+  in
+  (sink, flush)
+
 module Ring = struct
   type t = {
     buf : (int * Event.t) array;

@@ -1,7 +1,10 @@
 (* See journal.mli. *)
 
 let magic = "ppt-sweep-journal"
-let version = 1
+(* Bump whenever the marshalled payload type changes, so a stale
+   journal from an older build is rejected instead of unmarshalled
+   into the wrong type. v2: shard payloads carry a Gc snapshot. *)
+let version = 2
 
 type t = { oc : out_channel }
 

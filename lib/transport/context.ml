@@ -22,6 +22,10 @@ type t = {
 }
 
 let create ~sim ~net ~base_rtt ~edge_rate ~rto_min ~rng () =
+  (* A fresh context means a fresh run: restart the packet uid sequence
+     so rerunning an experiment in one process is byte-identical to the
+     first run (uids feed the per-packet spraying hash). *)
+  Packet.reset_uids ();
   { sim; net; base_rtt; edge_rate;
     bdp = Units.bdp ~rate:edge_rate ~rtt:base_rtt;
     rto_min; fct = Fct.create (); rng;

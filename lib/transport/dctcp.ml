@@ -31,8 +31,8 @@ let attach ?(g = default_g) (s : Reliable.t) =
   let mssf = float_of_int (Reliable.mss s) in
   let in_ca () = !ssthresh < infinity in
   s.Reliable.hook_on_ack <- (fun s ai ->
-      let newly = float_of_int ai.Reliable.ai_newly_acked in
-      if newly > 0. then begin
+      if ai.Reliable.ai_newly_acked > 0 then begin
+        let newly = float_of_int ai.Reliable.ai_newly_acked in
         let cwnd = Reliable.cwnd s in
         if cwnd < !ssthresh then Reliable.set_cwnd s (cwnd +. newly)
         else Reliable.set_cwnd s (cwnd +. (mssf *. newly /. cwnd))

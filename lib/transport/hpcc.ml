@@ -52,44 +52,44 @@ let attach ?(params = default_params) ctx (s : Reliable.t) =
   (* Returns [None] until the hop has two telemetry samples: without a
      previous (tx_bytes, ts) pair the rate term is unknown and a naive
      U ~ 0 would explode the window on the very first ACK. *)
-  let hop_utilization i (h : Packet.int_hop) =
+  let hop_utilization i (tel : Packet.t) =
     let m = hop_mem i in
-    let rate_bits = float_of_int h.Packet.hop_rate in
+    let tx_bytes = Packet.tel_tx_bytes tel i in
+    let ts = Packet.tel_ts tel i in
+    let rate_bits = float_of_int (Packet.tel_rate tel i) in
     let qterm =
       (* qlen / (B * T): queueing bytes against one BDP of the hop *)
-      float_of_int (h.Packet.hop_qlen * 8)
+      float_of_int (Packet.tel_qlen tel i * 8)
       /. (rate_bits *. (t_ns /. 1e9))
     in
     let txterm =
-      if m.valid && h.Packet.hop_ts > m.prev_ts then begin
-        let dbytes = h.Packet.hop_tx_bytes - m.prev_tx_bytes in
-        let dt_s =
-          float_of_int (h.Packet.hop_ts - m.prev_ts) /. 1e9
-        in
+      if m.valid && ts > m.prev_ts then begin
+        let dbytes = tx_bytes - m.prev_tx_bytes in
+        let dt_s = float_of_int (ts - m.prev_ts) /. 1e9 in
         Some (float_of_int (dbytes * 8) /. dt_s /. rate_bits)
       end else None
     in
     let had_sample = m.valid in
-    m.prev_tx_bytes <- h.Packet.hop_tx_bytes;
-    m.prev_ts <- h.Packet.hop_ts;
+    m.prev_tx_bytes <- tx_bytes;
+    m.prev_ts <- ts;
     m.valid <- true;
     match txterm with
     | Some tx -> Some (qterm +. tx)
     | None -> if had_sample then Some qterm else None
   in
   s.Reliable.hook_on_ack <- (fun s ai ->
-      match ai.Reliable.ai_int_tel with
-      | [] -> ()
-      | tel ->
-        let _, u =
-          List.fold_left
-            (fun (i, acc) h ->
-               match acc, hop_utilization i h with
-               | Some acc, Some u -> (i + 1, Some (Float.max acc u))
-               | _, _ -> (i + 1, None))
-            (0, Some 0.) tel
-        in
-        match u with
+      let tel = ai.Reliable.ai_tel in
+      let n_hops = Packet.tel_count tel in
+      if n_hops > 0 then begin
+        (* every hop's memory is updated even while U is still unknown
+           (warm-up), exactly as the per-hop estimator requires *)
+        let u = ref (Some 0.) in
+        for i = 0 to n_hops - 1 do
+          (match !u, hop_utilization i tel with
+           | Some acc, Some hu -> u := Some (Float.max acc hu)
+           | _, _ -> u := None)
+        done;
+        match !u with
         | None -> ()   (* warm-up: telemetry not yet rate-capable *)
         | Some u ->
           let u = Float.max u 0.05 in
@@ -101,7 +101,8 @@ let attach ?(params = default_params) ctx (s : Reliable.t) =
           if now - !last_ref_update > ctx.Context.base_rtt then begin
             w_ref := Reliable.cwnd s;
             last_ref_update := now
-          end);
+          end
+      end);
   s.Reliable.hook_on_loss <- (fun s ->
       Reliable.set_cwnd s (Reliable.cwnd s /. 2.);
       w_ref := Reliable.cwnd s);

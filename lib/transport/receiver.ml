@@ -59,14 +59,18 @@ let mark t seq =
     true
   end
 
-let send_ack t ~sacks ~ece ~data_tx ~int_tel ~loop ~prio =
-  let meta =
-    Wire.Ack_meta { cum = t.cum; sacks; ece; data_tx; int_tel }
-  in
+(* [tel_from] echoes the data packet's inband telemetry: it is copied
+   into the ack packet's own snapshot buffer (the data packet is
+   released by the fabric as soon as [on_data] returns). *)
+let send_ack t ?tel_from ~sacks ~ece ~data_tx ~loop ~prio () =
+  let meta = Wire.Ack_meta { cum = t.cum; sacks; ece; data_tx } in
   let pkt =
     Packet.make ~prio ~loop ~meta ~flow:t.flow.Flow.id
       ~src:t.flow.Flow.dst ~dst:t.flow.Flow.src Packet.Ack
   in
+  (match tel_from with
+   | Some data -> Packet.tel_copy ~src:data ~dst:pkt
+   | None -> ());
   Net.send t.ctx.Context.net pkt
 
 let fire_done t =
@@ -83,8 +87,8 @@ let flush_lcp t =
       | `Echo -> t.lcp_last_prio
       | `Fixed p -> p
     in
-    send_ack t ~sacks:t.lcp_sacks ~ece:t.lcp_ece ~data_tx:0 ~int_tel:[]
-      ~loop:Packet.L ~prio;
+    send_ack t ~sacks:t.lcp_sacks ~ece:t.lcp_ece ~data_tx:0
+      ~loop:Packet.L ~prio ();
     t.lcp_pending <- 0;
     t.lcp_sacks <- [];
     t.lcp_ece <- false
@@ -106,12 +110,13 @@ let on_data t (p : Packet.t) =
     end;
     match p.loop with
     | Packet.H ->
+      (* inline [Wire.data_tx_time] minus its option: this runs for
+         every delivered data packet *)
       let data_tx =
-        match Wire.data_tx_time p with Some tx -> tx | None -> 0
+        match p.meta with Wire.Data_meta { tx; _ } -> tx | _ -> 0
       in
-      send_ack t ~sacks:[ p.seq ] ~ece:p.ecn_ce ~data_tx
-        ~int_tel:(List.rev p.int_tel) ~loop:Packet.H
-        ~prio:t.cfg.ack_prio;
+      send_ack t ~tel_from:p ~sacks:[ p.seq ] ~ece:p.ecn_ce ~data_tx
+        ~loop:Packet.H ~prio:t.cfg.ack_prio ();
       fire_done t
     | Packet.L ->
       t.lcp_pending <- t.lcp_pending + 1;

@@ -26,14 +26,20 @@ let log_src =
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* One scratch record per sender, refilled for every ack (hooks run
+   synchronously and none retains it) — so ack processing allocates
+   nothing. All fields are therefore mutable; treat the record as
+   borrowed for the duration of the hook call. *)
 type ack_info = {
-  ai_cum : int;
-  ai_sacks : int list;
-  ai_ece : bool;
-  ai_data_tx : Units.time;
-  ai_int_tel : Packet.int_hop list;
-  ai_newly_acked : int;    (* payload bytes newly confirmed (primary) *)
-  ai_cum_advanced : bool;
+  mutable ai_cum : int;
+  mutable ai_sacks : int list;
+  mutable ai_ece : bool;
+  mutable ai_data_tx : Units.time;
+  mutable ai_tel : Packet.t;
+  (* the ack packet carrying echoed telemetry — borrowed, valid only
+     during the synchronous hook call *)
+  mutable ai_newly_acked : int;  (* payload bytes newly confirmed *)
+  mutable ai_cum_advanced : bool;
 }
 
 (* Per-segment states. *)
@@ -86,6 +92,7 @@ type t = {
   mutable win_marked : int;
   mutable bytes_sent : int;            (* payload bytes, both loops *)
   mutable shut : bool;
+  scratch_ai : ack_info;               (* reused by [on_ack] *)
   (* congestion-control and PPT hooks *)
   mutable hook_on_ack : t -> ack_info -> unit;
   mutable hook_on_window : t -> f:float -> unit;
@@ -294,6 +301,10 @@ let create ctx flow p =
       rto_fire = ignore;
       win_end = 0; win_acked = 0; win_marked = 0; bytes_sent = 0;
       shut = false;
+      scratch_ai =
+        { ai_cum = 0; ai_sacks = []; ai_ece = false; ai_data_tx = 0;
+          ai_tel = Packet.dummy; ai_newly_acked = 0;
+          ai_cum_advanced = false };
       hook_on_ack = (fun _ _ -> ());
       hook_on_window = (fun _ ~f:_ -> ());
       hook_on_loss = default_on_loss;
@@ -382,27 +393,23 @@ let enter_recovery t =
     Queue.push t.cum_ack t.retx
   end
 
-let parse_ack (p : Packet.t) =
-  match p.meta with
-  | Wire.Ack_meta { cum; sacks; ece; data_tx; int_tel } ->
-    Some (cum, sacks, ece, data_tx, int_tel)
-  | _ -> None
-
 let on_ack t (p : Packet.t) =
   if not t.shut then
-    match parse_ack p with
-    | None -> ()
-    | Some (cum, sacks, ece, data_tx, int_tel) ->
+    match p.meta with
+    | Wire.Ack_meta { cum; sacks; ece; data_tx } ->
       Context.count_op t.ctx t.flow.Flow.src;
       let newly =
         List.fold_left (fun acc s -> acc + mark_sacked t s) 0 sacks
       in
       let advanced = advance_cum t cum in
-      let ai =
-        { ai_cum = cum; ai_sacks = sacks; ai_ece = ece;
-          ai_data_tx = data_tx; ai_int_tel = int_tel;
-          ai_newly_acked = newly; ai_cum_advanced = advanced }
-      in
+      let ai = t.scratch_ai in
+      ai.ai_cum <- cum;
+      ai.ai_sacks <- sacks;
+      ai.ai_ece <- ece;
+      ai.ai_data_tx <- data_tx;
+      ai.ai_tel <- p;
+      ai.ai_newly_acked <- newly;
+      ai.ai_cum_advanced <- advanced;
       (match p.loop with
        | Packet.L ->
          (* EWD and loop bookkeeping live in the PPT core. *)
@@ -443,4 +450,10 @@ let on_ack t (p : Packet.t) =
            t.win_marked <- 0
          end;
          try_send t);
+      (* the hooks have returned: drop the borrowed references so the
+         scratch record cannot keep the (pooled, about-to-be-released)
+         ack packet or its sack list reachable *)
+      ai.ai_tel <- Packet.dummy;
+      ai.ai_sacks <- [];
       if all_sacked t then cancel_rto t
+    | _ -> ()

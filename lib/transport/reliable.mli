@@ -11,14 +11,21 @@
 open Ppt_engine
 open Ppt_netsim
 
+(** One scratch record per sender, refilled in place for every ack so
+    the ack path allocates nothing. Borrowed: hooks may read it during
+    the synchronous call but must not retain it. *)
 type ack_info = {
-  ai_cum : int;                     (** in-order segments confirmed *)
-  ai_sacks : int list;
-  ai_ece : bool;                    (** congestion-experienced echo *)
-  ai_data_tx : Units.time;          (** echoed data-packet send time *)
-  ai_int_tel : Packet.int_hop list; (** echoed inband telemetry *)
-  ai_newly_acked : int;             (** fresh primary-loop bytes *)
-  ai_cum_advanced : bool;
+  mutable ai_cum : int;             (** in-order segments confirmed *)
+  mutable ai_sacks : int list;
+  mutable ai_ece : bool;            (** congestion-experienced echo *)
+  mutable ai_data_tx : Units.time;  (** echoed data-packet send time *)
+  mutable ai_tel : Packet.t;
+  (** The ack packet carrying the echoed inband telemetry (read it with
+      [Packet.tel_count] / [Packet.tel_qlen] …). Borrowed: valid only
+      during the synchronous hook call — the fabric releases the packet
+      when the delivery handler returns. *)
+  mutable ai_newly_acked : int;     (** fresh primary-loop bytes *)
+  mutable ai_cum_advanced : bool;
 }
 
 (** Per-segment states (as stored in the scoreboard). *)
@@ -69,6 +76,8 @@ type t = {
   mutable win_marked : int;
   mutable bytes_sent : int;
   mutable shut : bool;
+  scratch_ai : ack_info;
+  (** Reused by [on_ack]; see {!ack_info}. *)
   mutable hook_on_ack : t -> ack_info -> unit;
   (** per-ACK congestion-control hook (growth, delay/INT reaction) *)
   mutable hook_on_window : t -> f:float -> unit;

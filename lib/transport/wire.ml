@@ -14,7 +14,9 @@ type Packet.meta +=
       sacks : int list;         (* specific segments this ack confirms *)
       ece : bool;               (* congestion-experienced echo *)
       data_tx : Units.time;     (* echo of the data packet's tx time *)
-      int_tel : Packet.int_hop list;  (* echoed inband telemetry *)
+      (* echoed inband telemetry travels in the ack packet's own [tel]
+         snapshot buffer (copied from the data packet by the receiver),
+         not in the meta *)
     }
   | Grant_meta of {
       g_cum : int;              (* segments received in order (progress) *)
@@ -32,5 +34,5 @@ let is_first_rtt (p : Packet.t) =
 
 let ack_meta (p : Packet.t) =
   match p.meta with
-  | Ack_meta m -> Some (m.cum, m.sacks, m.ece, m.data_tx, m.int_tel)
+  | Ack_meta m -> Some (m.cum, m.sacks, m.ece, m.data_tx)
   | _ -> None

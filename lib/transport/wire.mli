@@ -16,8 +16,10 @@ type Packet.meta +=
       sacks : int list;    (** specific segments this ack confirms *)
       ece : bool;          (** congestion-experienced echo *)
       data_tx : Units.time;  (** echo of the data packet's tx time *)
-      int_tel : Packet.int_hop list;  (** echoed inband telemetry *)
     }
+      (** Echoed inband telemetry travels in the ack packet's own
+          [tel] snapshot buffer (see {!Ppt_netsim.Packet.tel_copy}),
+          not in the meta. *)
   | Grant_meta of {
       g_cum : int;   (** segments received in order (progress) *)
       g_upto : int;  (** sender may transmit up to this segment *)
@@ -33,7 +35,5 @@ val is_first_rtt : Packet.t -> bool
 (** [true] only for [Data_meta] packets flagged as first-RTT. *)
 
 val ack_meta :
-  Packet.t ->
-  (int * int list * bool * Units.time * Packet.int_hop list) option
-(** Destructure an [Ack_meta] as [(cum, sacks, ece, data_tx,
-    int_tel)]. *)
+  Packet.t -> (int * int list * bool * Units.time) option
+(** Destructure an [Ack_meta] as [(cum, sacks, ece, data_tx)]. *)

@@ -28,6 +28,26 @@ let test_heap_fifo_ties () =
   in
   check (Alcotest.list Alcotest.int) "fifo" [ 100; 200; 300 ] vals
 
+(* The allocation-free hot-loop entry points: [top_key] peeks without
+   an option, [pop_exn] pops without one (and must refuse an empty
+   heap). *)
+let test_heap_top_pop_exn () =
+  let h = Heap.create ~dummy:0 in
+  (try
+     ignore (Heap.pop_exn h);
+     Alcotest.fail "pop_exn on empty heap did not raise"
+   with Invalid_argument _ -> ());
+  Heap.push h ~key:5 ~tie:0 50;
+  Heap.push h ~key:3 ~tie:1 31;
+  Heap.push h ~key:9 ~tie:2 90;
+  Heap.push h ~key:3 ~tie:3 32;
+  Heap.push h ~key:1 ~tie:4 10;
+  check Alcotest.int "top_key is the minimum" 1 (Heap.top_key h);
+  let order = List.init 5 (fun _ -> Heap.pop_exn h) in
+  check (Alcotest.list Alcotest.int)
+    "pop_exn ascending with FIFO ties" [ 10; 31; 32; 50; 90 ] order;
+  check Alcotest.bool "drained" true (Heap.is_empty h)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap pops keys in nondecreasing order"
     ~count:200
@@ -319,6 +339,8 @@ let test_exponential_mean () =
 let suite =
   [ Alcotest.test_case "heap: pop order" `Quick test_heap_order;
     Alcotest.test_case "heap: fifo tie-break" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap: top_key / pop_exn" `Quick
+      test_heap_top_pop_exn;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
     Alcotest.test_case "sim: event ordering" `Quick test_sim_ordering;
     Alcotest.test_case "sim: cancel" `Quick test_sim_cancel;

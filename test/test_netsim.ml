@@ -27,6 +27,79 @@ let test_segmentation () =
   check Alcotest.int "one byte over" 2
     (Packet.segments_of_bytes (Packet.max_payload + 1))
 
+(* --- packet pool ----------------------------------------------------- *)
+
+(* Drive the process-global pool with a random make/release schedule.
+   Invariants: [make] never hands out a packet that is still live (no
+   aliasing), and a recycled record comes back with every mutable field
+   reset even after the previous owner dirtied it. *)
+type Packet.meta += Test_meta
+
+let prop_pool_invariants =
+  QCheck.Test.make
+    ~name:"packet pool: no aliasing, recycled packets are clean"
+    ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) bool)
+    (fun ops ->
+       let live = ref [] in
+       let n = ref 0 in
+       List.iter
+         (fun mk ->
+            if mk || !live = [] then begin
+              incr n;
+              let p =
+                Packet.make ~seq:!n ~payload:100 ~prio:(!n mod 8)
+                  ~flow:!n ~src:0 ~dst:1 Packet.Data
+              in
+              if p.Packet.ecn_ce || p.Packet.trimmed || p.Packet.sel_drop
+                 || Packet.tel_count p <> 0
+                 || p.Packet.seq <> !n || p.Packet.flow <> !n
+                 || (match p.Packet.meta with
+                     | Packet.No_meta -> false
+                     | _ -> true)
+              then failwith "stale fields on a recycled packet";
+              if List.exists (fun q -> q == p) !live then
+                failwith "pool handed out a live packet";
+              (* dirty every resettable field so a recycle without a
+                 reset is caught on the next acquire *)
+              p.Packet.ecn_ce <- true;
+              p.Packet.trimmed <- true;
+              p.Packet.sel_drop <- true;
+              p.Packet.meta <- Test_meta;
+              Packet.tel_push p ~qlen:1 ~tx_bytes:2 ~ts:3 ~rate:4;
+              live := p :: !live
+            end
+            else
+              match !live with
+              | p :: rest -> Packet.release p; live := rest
+              | [] -> ())
+         ops;
+       List.iter Packet.release !live;
+       true)
+
+(* Debug mode turns ownership bugs into loud failures. *)
+let test_pool_debug_checks () =
+  Packet.set_debug true;
+  Fun.protect ~finally:(fun () -> Packet.set_debug false)
+    (fun () ->
+       let p = Packet.make ~flow:1 ~src:0 ~dst:1 Packet.Data in
+       Packet.release p;
+       (try
+          Packet.release p;
+          Alcotest.fail "double release not detected"
+        with Invalid_argument _ -> ());
+       (try
+          Packet.assert_live p;
+          Alcotest.fail "use after release not detected"
+        with Invalid_argument _ -> ());
+       (* drain the poisoned packet back out so later tests see a
+          healthy pool *)
+       let q = Packet.make ~flow:2 ~src:0 ~dst:1 Packet.Data in
+       Packet.assert_live q;
+       check Alcotest.int "recycled with fresh identity" 2
+         q.Packet.flow;
+       Packet.release q)
+
 let prop_segment_payloads_sum =
   QCheck.Test.make ~name:"segment payloads sum to the flow size"
     ~count:300
@@ -550,6 +623,9 @@ let test_all_to_all_leaf_spine_traffic () =
 let suite =
   [ Alcotest.test_case "packet: wire sizes" `Quick test_packet_sizes;
     Alcotest.test_case "packet: segmentation" `Quick test_segmentation;
+    QCheck_alcotest.to_alcotest prop_pool_invariants;
+    Alcotest.test_case "packet pool: debug-mode ownership checks"
+      `Quick test_pool_debug_checks;
     QCheck_alcotest.to_alcotest prop_segment_payloads_sum;
     Alcotest.test_case "queue: strict priority" `Quick
       test_strict_priority_order;

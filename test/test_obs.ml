@@ -129,6 +129,49 @@ let test_json_rejects_garbage () =
   check Alcotest.bool "missing field" true
     (Event.of_json_line {|{"t":1,"ev":"cwnd_update","flow":1}|} = None)
 
+(* --- binary trace encoding ----------------------------------------- *)
+
+let encode_stream events =
+  let b = Buffer.create 4096 in
+  List.iter (fun (ts, ev) -> Event.add_binary b ~ts ev) events;
+  Buffer.contents b
+
+let decode_stream s =
+  let pos = ref 0 in
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Event.of_binary s pos with
+    | Some tev -> acc := tev :: !acc
+    | None -> continue := false
+  done;
+  List.rev !acc
+
+let prop_binary_roundtrip =
+  QCheck.Test.make ~name:"event: binary roundtrip is lossless"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (ts, ev) -> Event.to_json_line ~ts ev)
+       QCheck.Gen.(int_range 0 1_000_000_000_000 >>= fun ts ->
+                   gen_event >>= fun ev -> return (ts, ev)))
+    (fun (ts, ev) ->
+       decode_stream (encode_stream [ (ts, ev) ]) = [ (ts, ev) ])
+
+(* Control packets carry seq = -1, and zigzag must round-trip the whole
+   int range, not just the naturals the generator produces. *)
+let test_binary_negative_ints () =
+  let evs =
+    [ (0,
+       Event.Enqueue
+         { node = 0; port = 0; prio = 0; flow = 7; seq = -1; kind = 'A';
+           size = 64; occ = 64 });
+      (1, Event.Retransmit { flow = 0; seq = -1; loop = 'H' });
+      (2, Event.Flow_done { flow = max_int; size = min_int; fct = -1 });
+      (max_int, Event.Cwnd_update { flow = -1; cwnd = max_int }) ]
+  in
+  check Alcotest.bool "negative and extreme ints roundtrip" true
+    (decode_stream (encode_stream evs) = evs)
+
 (* --- sink plumbing ------------------------------------------------- *)
 
 let test_ring_overwrite () =
@@ -192,6 +235,73 @@ let ppt_4host_events seed =
 let jsonl_of events =
   String.concat "\n"
     (List.map (fun (ts, ev) -> Event.to_json_line ~ts ev) events)
+
+(* The binary stream must reproduce the JSONL encoding byte for byte
+   once decoded and re-rendered — that is what lets `ppt_trace decode`
+   inherit the golden-trace guarantees. *)
+let test_binary_decode_matches_jsonl () =
+  let events = dctcp_2host_events 1 in
+  check Alcotest.bool "trace nonempty" true (List.length events > 100);
+  let direct = jsonl_of events in
+  let decoded = decode_stream (encode_stream events) in
+  check Alcotest.bool "decode(encode(trace)) = trace as JSONL" true
+    (String.equal direct (jsonl_of decoded))
+
+(* --- packet pooling is invisible ----------------------------------- *)
+
+(* Recycling packets must not change a single event: the same runs with
+   the free list disabled have to produce byte-identical traces. *)
+let test_pooling_invisible () =
+  let with_pooling b f =
+    Packet.set_pooling b;
+    Fun.protect ~finally:(fun () -> Packet.set_pooling true) f
+  in
+  let dctcp_on = with_pooling true (fun () -> dctcp_2host_events 1) in
+  let dctcp_off = with_pooling false (fun () -> dctcp_2host_events 1) in
+  check Alcotest.bool "dctcp: pooling on/off traces identical" true
+    (String.equal (jsonl_of dctcp_on) (jsonl_of dctcp_off));
+  let ppt_on = with_pooling true (fun () -> ppt_4host_events 1) in
+  let ppt_off = with_pooling false (fun () -> ppt_4host_events 1) in
+  check Alcotest.bool "ppt: pooling on/off traces identical" true
+    (String.equal (jsonl_of ppt_on) (jsonl_of ppt_off))
+
+(* --- uid reset across in-process runs ------------------------------ *)
+
+(* Packet spraying hashes the packet uid, so rerunning an experiment in
+   the same process only reproduces the first trace if the uid
+   sequence restarts with each run ([Context.create] resets it). The
+   interleaved unrelated run perturbs the counter between the two
+   measured runs. *)
+let spray_events () =
+  let _, events =
+    captured (fun () ->
+        let sim = Sim.create () in
+        let topo =
+          Topology.leaf_spine ~routing:Topology.Per_packet ~sim
+            ~hosts_per_leaf:4 ~n_leaf:2 ~n_spine:2
+            ~edge_rate:(Units.gbps 10) ~core_rate:(Units.gbps 10)
+            ~edge_delay:(Units.us 2) ~core_delay:(Units.us 2)
+            ~qcfg:(qcfg ()) ()
+        in
+        let ctx =
+          Context.of_topology ~rto_min:(Units.ms 1)
+            ~rng:(Rng.create 7) topo
+        in
+        let t = Dctcp.make () ctx in
+        launch ctx t [ (0, 5, 300_000, 0); (1, 6, 200_000, 3_000) ];
+        Sim.run ~until:(Units.sec 5) sim;
+        check Alcotest.int "spray flows done" 2 ctx.Context.completed)
+  in
+  events
+
+let test_uid_reset_reruns () =
+  let a = spray_events () in
+  ignore (dctcp_2host_events 9);   (* perturb the global uid counter *)
+  let b = spray_events () in
+  check Alcotest.bool "spray trace nonempty" true (List.length a > 100);
+  check Alcotest.bool "rerun is byte-identical despite interleaved run"
+    true
+    (String.equal (jsonl_of a) (jsonl_of b))
 
 let test_golden_dctcp () =
   List.iter
@@ -442,6 +552,15 @@ let test_fig8_small_jsonl () =
 
 let suite =
   [ QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_binary_roundtrip;
+    Alcotest.test_case "event: binary negatives and extremes" `Quick
+      test_binary_negative_ints;
+    Alcotest.test_case "event: binary decode reproduces JSONL" `Quick
+      test_binary_decode_matches_jsonl;
+    Alcotest.test_case "packet pool: recycling is trace-invisible"
+      `Quick test_pooling_invisible;
+    Alcotest.test_case "packet uids: reset per run (spray rerun)" `Quick
+      test_uid_reset_reruns;
     Alcotest.test_case "event: parser rejects garbage" `Quick
       test_json_rejects_garbage;
     Alcotest.test_case "ring: bounded overwrite" `Quick

@@ -155,17 +155,16 @@ let test_wire_meta () =
   let ack =
     Packet.make
       ~meta:(Wire.Ack_meta
-               { cum = 4; sacks = [ 6; 5 ]; ece = true; data_tx = 77;
-                 int_tel = [] })
+               { cum = 4; sacks = [ 6; 5 ]; ece = true; data_tx = 77 })
       ~flow:1 ~src:1 ~dst:0 Packet.Ack
   in
   (match Wire.ack_meta ack with
-   | Some (cum, sacks, ece, data_tx, tel) ->
+   | Some (cum, sacks, ece, data_tx) ->
      check Alcotest.int "cum" 4 cum;
      check (Alcotest.list Alcotest.int) "sacks" [ 6; 5 ] sacks;
      check Alcotest.bool "ece echo" true ece;
      check Alcotest.int "data_tx echo" 77 data_tx;
-     check Alcotest.bool "no telemetry" true (tel = [])
+     check Alcotest.bool "no telemetry" true (Packet.tel_count ack = 0)
    | None -> Alcotest.fail "ack_meta failed to destructure");
   check Alcotest.bool "accessors reject foreign metas" true
     (Wire.data_tx_time ack = None
@@ -176,7 +175,8 @@ let test_wire_meta () =
 
 let ack_info ?(newly = 0) () =
   { Reliable.ai_cum = 0; ai_sacks = []; ai_ece = false; ai_data_tx = 0;
-    ai_int_tel = []; ai_newly_acked = newly; ai_cum_advanced = true }
+    ai_tel = Ppt_netsim.Packet.dummy; ai_newly_acked = newly;
+    ai_cum_advanced = true }
 
 let test_tcp_congestion_control () =
   let _sim, _topo, ctx = Helpers.star () in
