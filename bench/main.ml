@@ -22,6 +22,7 @@ let () =
   let list_only = ref false in
   let report = ref false in
   let report_file = ref "" in
+  let micro_repeat = ref 3 in
   let spec =
     [ ("--only",
        Arg.String
@@ -41,7 +42,9 @@ let () =
       ("--report", Arg.Set report,
        " time fig12 + micros and write BENCH_<rev>.json");
       ("--report-file", Arg.Set_string report_file,
-       "FILE report output path (implies --report)") ]
+       "FILE report output path (implies --report)");
+      ("--micro-repeat", Arg.Set_int micro_repeat,
+       "N best-of-N micro passes in the report (default 3; CI uses 1)") ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -60,7 +63,8 @@ let () =
     in
     let ids = if !only = [] then [ "fig12" ] else !only in
     let path = if !report_file = "" then None else Some !report_file in
-    Report.emit ?path ~ids ~jobs:!jobs ~micro:(not !skip_micro) opts ppf;
+    Report.emit ?path ~ids ~jobs:!jobs ~micro:(not !skip_micro)
+      ~micro_repeat:!micro_repeat opts ppf;
     Format.pp_print_flush ppf ()
   end else begin
     let opts =

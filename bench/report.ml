@@ -154,12 +154,23 @@ let to_json ~rev ~(opts : Figures.opts) ~jobs ~micros ~macros =
    only); [jobs] fans each one out over worker processes; [micro]
    includes the bechamel suite. Progress goes to [ppf]. *)
 let emit ?path ?(ids = [ "fig12" ]) ?(jobs = 1) ?(micro = true)
-    (opts : Figures.opts) ppf =
+    ?(micro_repeat = 3) (opts : Figures.opts) ppf =
   let rev = git_rev () in
   let path =
     match path with
     | Some p -> p
     | None -> Printf.sprintf "BENCH_%s.json" rev
+  in
+  (* Micros first: they are nanosecond-scale OLS fits and want a
+     settled machine, which a box still cooling down from a multi-way
+     parallel sweep is not (the skewed-timers reference reads ~20%
+     high right after one). The macro walls are tens of seconds and
+     insensitive to ordering. *)
+  let micros =
+    if micro then begin
+      Format.fprintf ppf "report: running micro-benchmarks ...@.";
+      Micro.estimates ~repeat:micro_repeat ()
+    end else []
   in
   let macros =
     List.map
@@ -172,12 +183,6 @@ let emit ?path ?(ids = [ "fig12" ]) ?(jobs = 1) ?(micro = true)
            (float_of_int m.m_events /. m.m_wall_s);
          m)
       ids
-  in
-  let micros =
-    if micro then begin
-      Format.fprintf ppf "report: running micro-benchmarks ...@.";
-      Micro.estimates ()
-    end else []
   in
   let oc = open_out path in
   output_string oc (to_json ~rev ~opts ~jobs ~micros ~macros);
